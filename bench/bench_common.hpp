@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace craysim::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n%s\n"
+              "================================================================\n",
+              title.c_str());
+}
+
+/// Prints a rate series as an ASCII plot (MB/s) followed by its CSV dump.
+inline void print_rate_figure(std::span<const double> bytes_per_s, const std::string& y_label,
+                              const std::string& x_label, double bin_seconds,
+                              bool emit_csv = true) {
+  std::vector<double> mb_per_s(bytes_per_s.size());
+  for (std::size_t i = 0; i < bytes_per_s.size(); ++i) mb_per_s[i] = bytes_per_s[i] / 1e6;
+  PlotOptions options;
+  options.y_label = y_label;
+  options.x_label = x_label;
+  options.x_scale = bin_seconds;
+  options.height = 16;
+  std::printf("%s", ascii_plot(mb_per_s, options).c_str());
+  if (emit_csv) {
+    std::printf("--- CSV ---\n%s--- end CSV ---\n",
+                series_csv(mb_per_s, bin_seconds, x_label, y_label).c_str());
+  }
+}
+
+inline void check(bool condition, const std::string& claim) {
+  std::printf("[%s] %s\n", condition ? "REPRODUCED" : "DIVERGED", claim.c_str());
+}
+
+}  // namespace craysim::bench

@@ -1,0 +1,62 @@
+// Reproduces Figure 8: idle time while running two instances of venus, as a
+// function of cache size (4..256 MB) and cache block size (4 KB vs 8 KB).
+//
+// "Execution time would be 761 seconds if there were no idle time" — idle
+// time falls from hundreds of seconds in small caches to ~zero once both
+// working sets fit.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+craysim::sim::SimResult run_config(craysim::Bytes cache_mb, craysim::Bytes block) {
+  using namespace craysim;
+  sim::SimParams params = sim::SimParams::paper_ssd(cache_mb * kMB);
+  params.cache.block_size = block;
+  sim::Simulator simulator(params);
+  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
+  return simulator.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace craysim;
+  bench::heading("Figure 8: idle time vs cache size, 2 x venus (4 KB and 8 KB blocks)");
+
+  const Bytes sizes_mb[] = {4, 8, 16, 32, 64, 128, 256};
+  TextTable table({"cache MB", "idle s (4K blocks)", "idle s (8K blocks)", "wall s (4K)",
+                   "util % (4K)"});
+  std::string csv = "cache_mb,idle_4k_s,idle_8k_s\n";
+  double idle_small_4k = 0;
+  double idle_big_4k = 0;
+  for (const Bytes mb : sizes_mb) {
+    const auto r4 = run_config(mb, 4 * kKiB);
+    const auto r8 = run_config(mb, 8 * kKiB);
+    table.row()
+        .integer(mb)
+        .num(r4.idle_time().seconds(), 1)
+        .num(r8.idle_time().seconds(), 1)
+        .num(r4.total_wall.seconds(), 1)
+        .num(100.0 * r4.cpu_utilization(), 1);
+    csv += format_number(static_cast<double>(mb), 0) + "," +
+           format_number(r4.idle_time().seconds(), 2) + "," +
+           format_number(r8.idle_time().seconds(), 2) + "\n";
+    if (mb == 4) idle_small_4k = r4.idle_time().seconds();
+    if (mb == 256) idle_big_4k = r4.idle_time().seconds();
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("--- CSV ---\n%s--- end CSV ---\n", csv.c_str());
+  std::printf("(no-idle execution time would be ~761 s: 2 x 379 s of CPU plus overheads)\n");
+
+  bench::check(idle_small_4k > 50.0, "small (4 MB) caches leave substantial idle time");
+  bench::check(idle_big_4k < 5.0, "a 256 MB cache eliminates nearly all idle time");
+  bench::check(idle_small_4k > 20.0 * std::max(idle_big_4k, 0.5),
+               "idle time falls by orders of magnitude across the sweep");
+  return 0;
+}

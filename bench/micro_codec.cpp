@@ -1,0 +1,75 @@
+// Microbenchmarks: trace-format encode/decode throughput and compression
+// effectiveness (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "trace/codec.hpp"
+#include "trace/stats.hpp"
+#include "trace/stream.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace craysim;
+
+const trace::Trace& venus_trace() {
+  static const trace::Trace t =
+      workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus));
+  return t;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const trace::Trace& t = venus_trace();
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    trace::AsciiTraceEncoder encoder;
+    std::size_t bytes = 0;
+    for (const auto& r : t) bytes += encoder.encode(r).size();
+    benchmark::DoNotOptimize(bytes);
+    records += static_cast<std::int64_t>(t.size());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State& state) {
+  const std::string wire = trace::serialize_trace(venus_trace());
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const trace::Trace t = trace::parse_trace(wire);
+    benchmark::DoNotOptimize(t.data());
+    records += static_cast<std::int64_t>(t.size());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_Decode);
+
+void BM_ComputeStats(benchmark::State& state) {
+  const trace::Trace& t = venus_trace();
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const auto stats = trace::compute_stats(t);
+    benchmark::DoNotOptimize(&stats);
+    records += static_cast<std::int64_t>(t.size());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_ComputeStats);
+
+void BM_SynthesizeTrace(benchmark::State& state) {
+  const auto profile = workload::make_profile(workload::AppId::kVenus);
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const auto t = workload::synthesize_trace(profile);
+    benchmark::DoNotOptimize(t.data());
+    records += static_cast<std::int64_t>(t.size());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_SynthesizeTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

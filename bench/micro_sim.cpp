@@ -1,0 +1,57 @@
+// Microbenchmarks: simulator event throughput and file-system translation.
+#include <benchmark/benchmark.h>
+
+#include "fs/file_system.hpp"
+#include "sim/simulator.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace craysim;
+
+void BM_SimulateVenusPairSsd(benchmark::State& state) {
+  std::int64_t ios = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(sim::SimParams::paper_ssd(Bytes{256} * kMB));
+    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
+    const auto result = simulator.run();
+    benchmark::DoNotOptimize(&result);
+    for (const auto& p : result.processes) ios += p.io_count;
+  }
+  state.SetItemsProcessed(ios);
+}
+BENCHMARK(BM_SimulateVenusPairSsd)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateCcmNoCache(benchmark::State& state) {
+  std::int64_t ios = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(sim::SimParams::no_cache());
+    simulator.add_app(workload::make_profile(workload::AppId::kCcm, 7));
+    const auto result = simulator.run();
+    benchmark::DoNotOptimize(&result);
+    for (const auto& p : result.processes) ios += p.io_count;
+  }
+  state.SetItemsProcessed(ios);
+}
+BENCHMARK(BM_SimulateCcmNoCache)->Unit(benchmark::kMillisecond);
+
+void BM_FsTranslate(benchmark::State& state) {
+  fs::FileSystem filesystem(fs::DiskLayout::uniform(8, Bytes{512} * kMB));
+  const auto file = filesystem.create("bench-file");
+  filesystem.ensure_allocated(file, 0, Bytes{256} * kMB);
+  std::int64_t ops = 0;
+  Bytes offset = 0;
+  for (auto _ : state) {
+    const auto ranges = filesystem.translate(file, offset, 512 * kKiB);
+    benchmark::DoNotOptimize(ranges.data());
+    offset = (offset + 512 * kKiB) % (Bytes{255} * kMB);
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FsTranslate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

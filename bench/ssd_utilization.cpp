@@ -1,0 +1,48 @@
+// Reproduces the Section 6.3 SSD result: with a 32 MW (256 MB) per-CPU SSD
+// share used as a system-managed cache, every traced application except one
+// utilizes the CPU over 99% — one or two jobs suffice per processor.
+//
+// The paper's exception is the application whose working set/request mix
+// still forces disk waits; with our calibration that role falls to the
+// straight-to-disk-scale app with the largest uncached footprint.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int main() {
+  using namespace craysim;
+  bench::heading("Section 6.3: per-application CPU utilization with a 256 MB SSD cache");
+
+  TextTable table({"app", "alone util %", "idle s", "2 copies util %", "idle s (2)"});
+  int above_99 = 0;
+  int total = 0;
+  for (const workload::AppId app : workload::all_apps()) {
+    sim::Simulator solo(sim::SimParams::paper_ssd(Bytes{256} * kMB));
+    solo.add_app(workload::make_profile(app, 11));
+    const auto r1 = solo.run();
+
+    sim::Simulator duo(sim::SimParams::paper_ssd(Bytes{256} * kMB));
+    duo.add_app(workload::make_profile(app, 11));
+    duo.add_app(workload::make_profile(app, 22));
+    const auto r2 = duo.run();
+
+    table.row()
+        .cell(std::string(workload::app_name(app)))
+        .num(100.0 * r1.cpu_utilization(), 2)
+        .num(r1.idle_time().seconds(), 1)
+        .num(100.0 * r2.cpu_utilization(), 2)
+        .num(r2.idle_time().seconds(), 1);
+    ++total;
+    if (r1.cpu_utilization() > 0.99) ++above_99;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("%d of %d applications exceed 99%% utilization running alone "
+              "(paper: all but one)\n", above_99, total);
+
+  bench::check(above_99 >= total - 1,
+               "all applications but at most one exceed 99% CPU utilization on the SSD");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// trace_analyzer: characterize an I/O trace the way Section 5 of the paper
+// does — Table 1/2 statistics, per-file patterns, request-size histogram,
+// and the data-rate-over-CPU-time profile.
+//
+// Usage:
+//   trace_analyzer <trace-file>          analyze a trace in the wire format
+//   trace_analyzer --app <name> [out]    synthesize an application trace
+//                                        (bvi ccm forma gcm les upw venus),
+//                                        analyze it, optionally save it
+#include <cstdio>
+#include <string>
+
+#include "analysis/patterns.hpp"
+#include "analysis/series.hpp"
+#include "trace/stats.hpp"
+#include "trace/stream.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_analyzer <trace-file>\n"
+               "       trace_analyzer --app <bvi|ccm|forma|gcm|les|upw|venus> [save-path]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace craysim;
+  if (argc < 2) return usage();
+
+  trace::Trace t;
+  std::string name;
+  try {
+    if (std::string(argv[1]) == "--app") {
+      if (argc < 3) return usage();
+      const auto app = workload::app_by_name(argv[2]);
+      if (!app) {
+        std::fprintf(stderr, "unknown application '%s'\n", argv[2]);
+        return 2;
+      }
+      name = argv[2];
+      t = workload::synthesize_trace(workload::make_profile(*app));
+      if (argc >= 4) {
+        trace::save_trace(t, argv[3], "synthesized " + name + " trace (craysim)");
+        std::printf("saved %zu records to %s\n\n", t.size(), argv[3]);
+      }
+    } else {
+      name = argv[1];
+      t = trace::load_trace(argv[1]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (t.empty()) {
+    std::printf("trace is empty\n");
+    return 0;
+  }
+
+  const trace::TraceStats stats = trace::compute_stats(t);
+  std::printf("%s", trace::summarize(stats, name).c_str());
+
+  std::printf("\nrequest-size histogram (bytes):\n%s", stats.size_histogram.render().c_str());
+
+  const analysis::PatternReport patterns = analysis::analyze_patterns(t);
+  std::printf("\naccess patterns:\n%s", patterns.render().c_str());
+
+  const BinnedSeries series = analysis::cpu_time_rate_series(t);
+  auto rates = series.rates();
+  for (auto& r : rates) r /= 1e6;
+  PlotOptions options;
+  options.y_label = "MB per CPU second";
+  options.x_label = "process CPU seconds";
+  options.x_scale = series.bin_width().seconds();
+  options.height = 14;
+  std::printf("\ndata rate over process CPU time:\n%s", ascii_plot(rates, options).c_str());
+  return 0;
+}

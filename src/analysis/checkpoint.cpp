@@ -1,0 +1,94 @@
+#include "analysis/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace craysim::analysis {
+namespace {
+
+void check_model(const CheckpointModel& model) {
+  if (model.work <= Ticks::zero()) throw ConfigError("checkpoint model needs positive work");
+  if (model.mtbf_seconds <= 0) throw ConfigError("MTBF must be positive");
+  if (model.checkpoint_cost < Ticks::zero() || model.restart_cost < Ticks::zero()) {
+    throw ConfigError("costs must be non-negative");
+  }
+}
+
+}  // namespace
+
+double expected_runtime_s(const CheckpointModel& model, Ticks interval) {
+  check_model(model);
+  if (interval <= Ticks::zero()) throw ConfigError("checkpoint interval must be positive");
+  const double lambda = 1.0 / model.mtbf_seconds;
+  const double segment = interval.seconds() + model.checkpoint_cost.seconds();
+  const double restart = model.restart_cost.seconds();
+  // Expected time to get through one segment that must complete without a
+  // failure, restarting (plus restart_cost) after each failure:
+  //   E = (1/lambda + restart) * (e^{lambda * segment} - 1)
+  const double per_segment = (1.0 / lambda + restart) * std::expm1(lambda * segment);
+  const double segments = std::ceil(model.work.seconds() / interval.seconds());
+  // The final segment needs no checkpoint write; subtract one checkpoint's
+  // expected contribution approximately by shortening one segment.
+  const double last_segment =
+      (1.0 / lambda + restart) * std::expm1(lambda * interval.seconds());
+  return (segments - 1.0) * per_segment + last_segment;
+}
+
+Ticks youngs_interval(const CheckpointModel& model) {
+  check_model(model);
+  const double interval_s =
+      std::sqrt(2.0 * model.checkpoint_cost.seconds() * model.mtbf_seconds);
+  return Ticks::from_seconds(std::max(interval_s, 1e-5));
+}
+
+Ticks optimal_interval(const CheckpointModel& model, Ticks lo, Ticks hi, int steps) {
+  check_model(model);
+  if (lo <= Ticks::zero() || hi < lo) throw ConfigError("bad interval search range");
+  double best_time = 1e300;
+  Ticks best = lo;
+  const double log_lo = std::log(lo.seconds());
+  const double log_hi = std::log(hi.seconds());
+  for (int i = 0; i < steps; ++i) {
+    const double f = steps > 1 ? static_cast<double>(i) / (steps - 1) : 0.0;
+    const Ticks interval = Ticks::from_seconds(std::exp(log_lo + f * (log_hi - log_lo)));
+    const double t = expected_runtime_s(model, interval);
+    if (t < best_time) {
+      best_time = t;
+      best = interval;
+    }
+  }
+  return best;
+}
+
+double simulate_runtime_s(const CheckpointModel& model, Ticks interval, int runs, Rng& rng) {
+  check_model(model);
+  if (interval <= Ticks::zero()) throw ConfigError("checkpoint interval must be positive");
+  if (runs <= 0) throw ConfigError("need at least one run");
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    double clock = 0.0;
+    double done = 0.0;  // useful work completed and checkpointed
+    double next_failure = rng.exponential(model.mtbf_seconds);
+    const double work = model.work.seconds();
+    while (done < work) {
+      const double segment_work = std::min(interval.seconds(), work - done);
+      const bool final_segment = done + segment_work >= work;
+      const double segment =
+          segment_work + (final_segment ? 0.0 : model.checkpoint_cost.seconds());
+      if (clock + segment <= next_failure) {
+        clock += segment;
+        done += segment_work;
+      } else {
+        // Failure mid-segment: lose the uncheckpointed work, pay restart.
+        clock = next_failure + model.restart_cost.seconds();
+        next_failure = clock + rng.exponential(model.mtbf_seconds);
+      }
+    }
+    total += clock;
+  }
+  return total / runs;
+}
+
+}  // namespace craysim::analysis

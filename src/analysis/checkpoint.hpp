@@ -1,0 +1,47 @@
+// The Section 5.1 checkpoint tradeoff:
+//
+//   "The application writer balances the cost of writing the checkpoint
+//    against the cost of redoing lost iterations of the simulation. The
+//    likelihood of failure determines the number of iterations between
+//    checkpoints."
+//
+// This module makes that balance computable: an exact expected-runtime model
+// under exponential failures, Young's classic first-order approximation of
+// the optimal interval, and a failure-injection simulator to validate both.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace craysim::analysis {
+
+struct CheckpointModel {
+  Ticks work;             ///< total useful compute the job needs
+  Ticks checkpoint_cost;  ///< time to write one checkpoint
+  double mtbf_seconds;    ///< mean time between failures (exponential)
+  Ticks restart_cost;     ///< time to reload state after a failure
+};
+
+/// Expected wall time to finish `model.work` when checkpointing every
+/// `interval` of useful work. Uses the standard renewal argument for
+/// exponential failures: the expected time to complete one segment of
+/// length s = interval + checkpoint_cost is (e^{λs} - 1)/λ (+ restart per
+/// failure), summed over ceil(work / interval) segments.
+[[nodiscard]] double expected_runtime_s(const CheckpointModel& model, Ticks interval);
+
+/// Young's approximation of the optimal interval: sqrt(2 * C * MTBF).
+[[nodiscard]] Ticks youngs_interval(const CheckpointModel& model);
+
+/// Grid search of expected_runtime_s over `steps` log-spaced intervals
+/// between lo and hi; returns the best interval found.
+[[nodiscard]] Ticks optimal_interval(const CheckpointModel& model, Ticks lo, Ticks hi,
+                                     int steps = 64);
+
+/// Monte-Carlo validation: simulates `runs` executions with injected
+/// exponential failures and returns the mean wall time in seconds.
+[[nodiscard]] double simulate_runtime_s(const CheckpointModel& model, Ticks interval,
+                                        int runs, Rng& rng);
+
+}  // namespace craysim::analysis

@@ -1,0 +1,148 @@
+#include "analysis/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/series.hpp"
+#include "util/stats.hpp"
+
+namespace craysim::analysis {
+namespace {
+
+struct SizeCounts {
+  std::unordered_map<Bytes, std::int64_t> reads;
+  std::unordered_map<Bytes, std::int64_t> writes;
+};
+
+std::pair<Bytes, std::int64_t> dominant(const std::unordered_map<Bytes, std::int64_t>& counts) {
+  Bytes size = 0;
+  std::int64_t best = 0;
+  for (const auto& [s, c] : counts) {
+    if (c > best) {
+      best = c;
+      size = s;
+    }
+  }
+  return {size, best};
+}
+
+/// Median spacing between I/O-burst peaks, in bins. Peaks are bins above
+/// half the series maximum that start a run of above-threshold bins.
+std::pair<double, double> burst_spacing(std::span<const double> rates) {
+  double max_rate = 0.0;
+  for (double r : rates) max_rate = std::max(max_rate, r);
+  if (max_rate <= 0.0) return {0.0, 0.0};
+  const double threshold = 0.5 * max_rate;
+  std::vector<double> peak_positions;
+  bool in_burst = false;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] >= threshold) {
+      if (!in_burst) peak_positions.push_back(static_cast<double>(i));
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  if (peak_positions.size() < 3) return {0.0, 0.0};
+  std::vector<double> gaps;
+  gaps.reserve(peak_positions.size() - 1);
+  for (std::size_t i = 1; i < peak_positions.size(); ++i) {
+    gaps.push_back(peak_positions[i] - peak_positions[i - 1]);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double median = percentile(gaps, 50.0);
+  RunningStats spread;
+  for (double g : gaps) spread.add(g);
+  const double cv = spread.mean() > 0 ? spread.stddev() / spread.mean() : 1.0;
+  return {median, std::clamp(1.0 - cv, 0.0, 1.0)};
+}
+
+}  // namespace
+
+PatternReport analyze_patterns(std::span<const trace::TraceRecord> trace) {
+  PatternReport report;
+  const trace::TraceStats stats = trace::compute_stats(trace);
+
+  std::unordered_map<std::uint32_t, SizeCounts> size_counts;
+  for (const auto& r : trace) {
+    if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
+      continue;
+    }
+    auto& counts = size_counts[r.file_id];
+    ++(r.is_write() ? counts.writes : counts.reads)[r.length];
+  }
+
+  std::int64_t total_accesses = 0;
+  std::int64_t dominant_accesses = 0;
+  for (const auto& [file_id, fs] : stats.files) {
+    FilePattern fp;
+    fp.file_id = file_id;
+    fp.usage = fs.usage();
+    fp.accesses = fs.total;
+    fp.sequential_fraction = fs.sequential_fraction();
+    const auto& counts = size_counts[file_id];
+    const auto [read_size, read_best] = dominant(counts.reads);
+    const auto [write_size, write_best] = dominant(counts.writes);
+    fp.dominant_read_size = read_size;
+    fp.dominant_write_size = write_size;
+    fp.dominant_share = fs.total > 0 ? static_cast<double>(read_best + write_best) /
+                                           static_cast<double>(fs.total)
+                                     : 0.0;
+    total_accesses += fs.total;
+    dominant_accesses += read_best + write_best;
+    report.files.emplace(file_id, fp);
+  }
+  report.constant_size_share =
+      total_accesses > 0
+          ? static_cast<double>(dominant_accesses) / static_cast<double>(total_accesses)
+          : 0.0;
+  report.sequential_fraction = stats.sequential_fraction();
+  report.read_bytes = stats.read_bytes;
+  report.write_bytes = stats.write_bytes;
+
+  // Cycle detection: spacing between I/O-burst peaks on a fine-grained
+  // CPU-time rate series (autocorrelation aliases badly when the true cycle
+  // is a non-integer number of bins).
+  const Ticks bin = Ticks::from_ms(100);
+  const BinnedSeries series = cpu_time_rate_series(trace, bin);
+  const auto rates = series.rates();
+  const auto [median_gap, regularity] = burst_spacing(rates);
+  if (median_gap > 0.0) {
+    report.cycle_seconds = median_gap * bin.seconds();
+    report.cycle_strength = regularity;
+  }
+  return report;
+}
+
+std::string PatternReport::render() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "sequential: %.1f%% | constant-size share: %.1f%% | cycle: %.2f s "
+                "(regularity %.2f) | R/W bytes: %.2f\n",
+                100.0 * sequential_fraction, 100.0 * constant_size_share, cycle_seconds,
+                cycle_strength,
+                write_bytes > 0 ? static_cast<double>(read_bytes) / static_cast<double>(write_bytes)
+                                : 0.0);
+  out += buf;
+  for (const auto& [id, fp] : files) {
+    const char* usage = fp.usage == trace::FileUsage::kReadOnly    ? "read-only"
+                        : fp.usage == trace::FileUsage::kWriteOnly ? "write-only"
+                        : fp.usage == trace::FileUsage::kReadWrite ? "read-write"
+                                                                   : "untouched";
+    std::snprintf(buf, sizeof buf,
+                  "  file %-8u %-10s %8lld accesses, sizes R %s / W %s (%.0f%% dominant), "
+                  "seq %.1f%%\n",
+                  id, usage, static_cast<long long>(fp.accesses),
+                  format_bytes(fp.dominant_read_size).c_str(),
+                  format_bytes(fp.dominant_write_size).c_str(), 100.0 * fp.dominant_share,
+                  100.0 * fp.sequential_fraction);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace craysim::analysis

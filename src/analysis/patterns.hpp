@@ -1,0 +1,50 @@
+// Access-pattern analysis for Section 5: request-size constancy,
+// sequentiality, file-usage classes, I/O-type decomposition, and cycle
+// detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "trace/record.hpp"
+#include "trace/stats.hpp"
+#include "util/units.hpp"
+
+namespace craysim::analysis {
+
+struct FilePattern {
+  std::uint32_t file_id = 0;
+  trace::FileUsage usage = trace::FileUsage::kUntouched;
+  std::int64_t accesses = 0;
+  Bytes dominant_read_size = 0;   ///< most common read request size
+  Bytes dominant_write_size = 0;  ///< most common write request size
+  /// Fraction of accesses made at their direction's dominant size
+  /// (programs pick one record size per stream — Section 5.2).
+  double dominant_share = 0.0;
+  double sequential_fraction = 0.0;
+};
+
+struct PatternReport {
+  std::map<std::uint32_t, FilePattern> files;
+  /// Share of all accesses made at each file's dominant size (Section 5.2:
+  /// "Access size ... was relatively constant within programs").
+  double constant_size_share = 0.0;
+  double sequential_fraction = 0.0;
+  /// Estimated cycle length in seconds of process CPU time (0 = acyclic):
+  /// the median spacing between I/O-burst peaks of the CPU-time rate series.
+  double cycle_seconds = 0.0;
+  /// Regularity of that cycle: 1 - coefficient of variation of the peak
+  /// spacings, clamped to [0, 1]. Near 1 means evenly spaced bursts.
+  double cycle_strength = 0.0;
+  /// Data moved by reads vs writes, per Section 5.2's ratio discussion.
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] PatternReport analyze_patterns(std::span<const trace::TraceRecord> trace);
+
+}  // namespace craysim::analysis

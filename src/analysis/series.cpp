@@ -1,0 +1,63 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace craysim::analysis {
+namespace {
+
+bool wanted(const trace::TraceRecord& r, Direction direction) {
+  if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
+    return false;
+  }
+  switch (direction) {
+    case Direction::kBoth: return true;
+    case Direction::kReads: return r.is_read();
+    case Direction::kWrites: return r.is_write();
+  }
+  return false;
+}
+
+}  // namespace
+
+BinnedSeries cpu_time_rate_series(std::span<const trace::TraceRecord> trace, Ticks bin,
+                                  Direction direction) {
+  BinnedSeries series(bin);
+  std::unordered_map<std::uint32_t, Ticks> cpu_cursor;
+  for (const auto& r : trace) {
+    if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
+      continue;
+    }
+    Ticks& cursor = cpu_cursor[r.process_id];
+    cursor += r.process_time;
+    if (wanted(r, direction)) series.add(cursor, static_cast<double>(r.length));
+  }
+  return series;
+}
+
+BinnedSeries wall_time_rate_series(std::span<const trace::TraceRecord> trace, Ticks bin,
+                                   Direction direction) {
+  BinnedSeries series(bin);
+  for (const auto& r : trace) {
+    if (wanted(r, direction)) series.add(r.start_time, static_cast<double>(r.length));
+  }
+  return series;
+}
+
+double peak_to_mean(std::span<const double> series) {
+  std::size_t first = 0;
+  std::size_t last = series.size();
+  while (first < last && series[first] == 0.0) ++first;
+  while (last > first && series[last - 1] == 0.0) --last;
+  if (first >= last) return 0.0;
+  double peak = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    peak = std::max(peak, series[i]);
+    sum += series[i];
+  }
+  const double mean = sum / static_cast<double>(last - first);
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+}  // namespace craysim::analysis

@@ -1,0 +1,33 @@
+// Data-rate time series extracted from traces — the raw material of the
+// paper's Figures 3, 4, 6 and 7.
+//
+// Figures 3/4 plot MB per *process CPU* second (multiprogramming filtered
+// out via the processTime field); Figures 6/7 plot disk traffic against
+// wall-clock time. Both extractors live here.
+#pragma once
+
+#include <span>
+
+#include "trace/record.hpp"
+#include "util/time_series.hpp"
+
+namespace craysim::analysis {
+
+enum class Direction { kBoth, kReads, kWrites };
+
+/// Bytes moved per bin of cumulative process CPU time (per process, summed
+/// over all processes in the trace). X axis: process CPU seconds.
+[[nodiscard]] BinnedSeries cpu_time_rate_series(std::span<const trace::TraceRecord> trace,
+                                                Ticks bin = Ticks::from_seconds(1),
+                                                Direction direction = Direction::kBoth);
+
+/// Bytes moved per bin of wall-clock start time.
+[[nodiscard]] BinnedSeries wall_time_rate_series(std::span<const trace::TraceRecord> trace,
+                                                 Ticks bin = Ticks::from_seconds(1),
+                                                 Direction direction = Direction::kBoth);
+
+/// Peak-to-mean ratio of a rate series — the burstiness number quoted in
+/// Section 5.3. Ignores empty leading/trailing bins.
+[[nodiscard]] double peak_to_mean(std::span<const double> series);
+
+}  // namespace craysim::analysis

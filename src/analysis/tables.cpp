@@ -1,0 +1,53 @@
+#include "analysis/tables.hpp"
+
+#include <cmath>
+
+namespace craysim::analysis {
+
+std::string paper_vs(double paper, double measured, int precision) {
+  std::string out = format_number(paper, precision) + " / " + format_number(measured, precision);
+  if (paper != 0.0) {
+    const double delta = 100.0 * (measured - paper) / paper;
+    out += " (" + std::string(delta >= 0 ? "+" : "") + format_number(delta, 1) + "%)";
+  }
+  return out;
+}
+
+TextTable build_table1(const std::vector<AppMeasurement>& measurements) {
+  TextTable table({"app", "run time s (paper/meas)", "data MB", "total I/O MB", "# I/Os",
+                   "avg I/O KB", "MB/s", "IOs/s"});
+  for (const auto& m : measurements) {
+    const auto& paper = workload::paper_stats(m.app);
+    const auto& s = m.stats;
+    table.row()
+        .cell(std::string(paper.name))
+        .cell(paper_vs(paper.run_time_s, s.cpu_time.seconds(), 1))
+        .cell(paper_vs(paper.data_set_mb, static_cast<double>(s.data_set_size) / 1e6, 1))
+        .cell(paper_vs(paper.total_io_mb, static_cast<double>(s.total_bytes()) / 1e6, 0))
+        .cell(paper_vs(paper.num_ios, static_cast<double>(s.io_count), 0))
+        .cell(paper_vs(paper.avg_io_kb, s.avg_io_bytes() / 1e3, 1))
+        .cell(paper_vs(paper.mb_per_s, s.mb_per_cpu_second(), 2))
+        .cell(paper_vs(paper.ios_per_s, s.ios_per_cpu_second(), 1));
+  }
+  return table;
+}
+
+TextTable build_table2(const std::vector<AppMeasurement>& measurements) {
+  TextTable table({"app", "read MB/s", "write MB/s", "read IO/s", "write IO/s", "avg KB",
+                   "R/W ratio"});
+  for (const auto& m : measurements) {
+    const auto& paper = workload::paper_stats(m.app);
+    const auto& s = m.stats;
+    table.row()
+        .cell(std::string(paper.name))
+        .cell(paper_vs(paper.read_mb_s, s.read_mb_per_cpu_second(), 3))
+        .cell(paper_vs(paper.write_mb_s, s.write_mb_per_cpu_second(), 3))
+        .cell(paper_vs(paper.read_ios_s, s.read_ios_per_cpu_second(), 2))
+        .cell(paper_vs(paper.write_ios_s, s.write_ios_per_cpu_second(), 2))
+        .cell(paper_vs(paper.avg_io_kb, s.avg_io_bytes() / 1e3, 1))
+        .cell(paper_vs(paper.rw_ratio, s.read_write_ratio(), 3));
+  }
+  return table;
+}
+
+}  // namespace craysim::analysis

@@ -1,0 +1,28 @@
+// Builders for the paper's Tables 1 and 2 in paper-vs-measured form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/stats.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim::analysis {
+
+struct AppMeasurement {
+  workload::AppId app;
+  trace::TraceStats stats;
+};
+
+/// Table 1: characteristics of the traced applications — running time, data
+/// size, total I/O, request count, average size, aggregate rates.
+[[nodiscard]] TextTable build_table1(const std::vector<AppMeasurement>& measurements);
+
+/// Table 2: read/write request and data rates plus R/W ratio.
+[[nodiscard]] TextTable build_table2(const std::vector<AppMeasurement>& measurements);
+
+/// "paper=X measured=Y (+Z%)" cell helper shared by the bench binaries.
+[[nodiscard]] std::string paper_vs(double paper, double measured, int precision = 2);
+
+}  // namespace craysim::analysis

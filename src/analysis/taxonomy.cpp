@@ -1,0 +1,39 @@
+#include "analysis/taxonomy.hpp"
+
+namespace craysim::analysis {
+
+double required_io_mb_s(Bytes input, Bytes output, Ticks run_time) {
+  return mb_per_second(input + output, run_time);
+}
+
+double checkpoint_mb_s(Bytes state, Ticks interval) { return mb_per_second(state, interval); }
+
+double swap_mb_s(double bytes_per_point, double flops_per_point, double mflops) {
+  if (flops_per_point <= 0) return 0.0;
+  // points/second = mflops * 1e6 / flops_per_point; bytes/s = that * B/point.
+  return mflops * 1e6 / flops_per_point * bytes_per_point / 1e6;
+}
+
+double amdahl_ratio(double io_mb_s, double mips) {
+  if (mips <= 0) return 0.0;
+  const double mbit_s = io_mb_s * 8.0;
+  return mbit_s / mips;
+}
+
+IoClass3 classify_io(const trace::TraceStats& stats) {
+  const double rate = stats.mb_per_cpu_second();
+  if (rate < 1.0) return IoClass3::kRequiredOnly;
+  if (rate < 5.0) return IoClass3::kCheckpointing;
+  return IoClass3::kDataSwapping;
+}
+
+std::string to_string(IoClass3 io_class) {
+  switch (io_class) {
+    case IoClass3::kRequiredOnly: return "required-only";
+    case IoClass3::kCheckpointing: return "checkpoint-class";
+    case IoClass3::kDataSwapping: return "data-swapping";
+  }
+  return "?";
+}
+
+}  // namespace craysim::analysis

@@ -1,0 +1,42 @@
+// Section 5.1's taxonomy of application I/O — required (compulsory),
+// checkpoint, and data-swapping — with the paper's worked rate examples,
+// plus the Section 1 Amdahl balance metric ("each MIPS should be
+// accompanied by one Mbit per second of I/O").
+#pragma once
+
+#include <string>
+
+#include "trace/stats.hpp"
+#include "util/units.hpp"
+
+namespace craysim::analysis {
+
+enum class IoClass3 { kRequiredOnly, kCheckpointing, kDataSwapping };
+
+/// Average data rate of a program that only does required I/O: reads its
+/// input once and writes its output once over `run_time` (Section 5.1's
+/// 50 MB + 100 MB over 200 s -> 0.75 MB/s example).
+[[nodiscard]] double required_io_mb_s(Bytes input, Bytes output, Ticks run_time);
+
+/// Average data rate of periodic checkpointing: `state` bytes every
+/// `interval` of CPU time (Section 5.1's 40 MB / 20 s -> 2 MB/s example).
+[[nodiscard]] double checkpoint_mb_s(Bytes state, Ticks interval);
+
+/// Average data rate of memory-limitation ("paging under program control")
+/// I/O: `bytes_per_point` moved for every `flops_per_point` of work on a
+/// `mflops` processor (Section 5.1's 24 B per 200 FLOP at 200 MFLOPS ->
+/// ~24 MB/s example).
+[[nodiscard]] double swap_mb_s(double bytes_per_point, double flops_per_point, double mflops);
+
+/// Amdahl's metric: Mbit/s of I/O per MIPS of processing. Balanced = 1.0.
+[[nodiscard]] double amdahl_ratio(double io_mb_s, double mips);
+
+/// Classifies a traced application by its I/O intensity relative to the
+/// checkpoint/swap thresholds implied by the worked examples: under
+/// ~1 MB/s is required-only, under ~5 MB/s checkpoint-class, above that the
+/// program must be staging its data set every iteration.
+[[nodiscard]] IoClass3 classify_io(const trace::TraceStats& stats);
+
+[[nodiscard]] std::string to_string(IoClass3 io_class);
+
+}  // namespace craysim::analysis

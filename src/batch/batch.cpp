@@ -1,0 +1,190 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace craysim::batch {
+
+const JobResult* BatchResult::find(const std::string& name) const {
+  for (const auto& job : jobs) {
+    if (job.name == name) return &job;
+  }
+  return nullptr;
+}
+
+ContiguousMemory::ContiguousMemory(Bytes capacity)
+    : capacity_(capacity), free_total_(capacity) {
+  if (capacity <= 0) throw ConfigError("memory capacity must be positive");
+  holes_[0] = capacity;
+}
+
+std::optional<Bytes> ContiguousMemory::allocate(Bytes size) {
+  if (size <= 0) throw ConfigError("allocation size must be positive");
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    if (it->second >= size) {
+      const Bytes address = it->first;
+      const Bytes remaining = it->second - size;
+      holes_.erase(it);
+      if (remaining > 0) holes_[address + size] = remaining;
+      free_total_ -= size;
+      return address;
+    }
+  }
+  return std::nullopt;
+}
+
+void ContiguousMemory::free(Bytes address, Bytes size) {
+  auto [it, inserted] = holes_.emplace(address, size);
+  if (!inserted) throw ConfigError("double free in ContiguousMemory");
+  free_total_ += size;
+  auto next = std::next(it);
+  if (next != holes_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    holes_.erase(next);
+  }
+  if (it != holes_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      holes_.erase(it);
+    }
+  }
+}
+
+Bytes ContiguousMemory::largest_hole() const {
+  Bytes best = 0;
+  for (const auto& [start, size] : holes_) best = std::max(best, size);
+  return best;
+}
+
+BatchSystem::BatchSystem(std::int32_t cpus, Bytes memory, std::vector<QueueConfig> queues)
+    : cpus_(cpus), memory_(memory), queues_(std::move(queues)) {
+  if (cpus_ < 1) throw ConfigError("batch system needs at least one CPU");
+  if (queues_.empty()) throw ConfigError("batch system needs at least one queue");
+  for (const auto& q : queues_) {
+    if (q.max_job_memory <= 0 || q.memory_partition <= 0 || q.max_cpu_time <= Ticks::zero()) {
+      throw ConfigError("queue '" + q.name + "' has non-positive limits");
+    }
+  }
+  queue_resident_.assign(queues_.size(), 0);
+  waiting_.resize(queues_.size());
+}
+
+void BatchSystem::submit(const JobSpec& job) {
+  if (job.memory <= 0 || job.cpu_time <= Ticks::zero()) {
+    throw ConfigError("job '" + job.name + "' has non-positive resources");
+  }
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (job.memory <= queues_[q].max_job_memory && job.cpu_time <= queues_[q].max_cpu_time) {
+      submitted_.push_back({job, q, next_seq_++});
+      return;
+    }
+  }
+  throw ConfigError("no queue admits job '" + job.name + "'");
+}
+
+BatchResult BatchSystem::run() {
+  BatchResult result;
+  std::vector<RunningJob> running;
+  // Arrival order by submit time (stable on sequence).
+  std::sort(submitted_.begin(), submitted_.end(), [](const PendingJob& a, const PendingJob& b) {
+    if (a.spec.submit_time != b.spec.submit_time) {
+      return a.spec.submit_time < b.spec.submit_time;
+    }
+    return a.seq < b.seq;
+  });
+  std::size_t next_arrival = 0;
+  Ticks now;
+
+  auto rate_per_job = [&]() {
+    // Equal processor sharing: each resident job gets min(1, cpus/jobs)
+    // CPU-seconds per second.
+    return running.empty()
+               ? 0.0
+               : std::min(1.0, static_cast<double>(cpus_) / static_cast<double>(running.size()));
+  };
+  auto advance_work = [&](Ticks from, Ticks to) {
+    const double dt = (to - from).seconds() * rate_per_job();
+    for (auto& job : running) job.remaining_work -= dt;
+  };
+
+  auto admit_from_queues = [&](Ticks when) {
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      auto& fifo = waiting_[q];
+      while (!fifo.empty()) {
+        const PendingJob& head = fifo.front();
+        if (queue_resident_[q] + head.spec.memory > queues_[q].memory_partition) break;
+        const auto address = memory_.allocate(head.spec.memory);
+        if (!address) break;  // no contiguous hole: head-of-line waits
+        RunningJob job;
+        job.spec = head.spec;
+        job.queue = q;
+        job.started = when;
+        job.address = *address;
+        job.remaining_work = head.spec.cpu_time.seconds();
+        queue_resident_[q] += head.spec.memory;
+        running.push_back(std::move(job));
+        fifo.erase(fifo.begin());
+      }
+    }
+  };
+
+  while (next_arrival < submitted_.size() || !running.empty() ||
+         std::any_of(waiting_.begin(), waiting_.end(),
+                     [](const auto& w) { return !w.empty(); })) {
+    // Next event: an arrival or the earliest completion at current rates.
+    Ticks next_event = Ticks::max();
+    if (next_arrival < submitted_.size()) {
+      next_event = submitted_[next_arrival].spec.submit_time;
+    }
+    if (!running.empty()) {
+      const double rate = rate_per_job();
+      double soonest = 1e300;
+      for (const auto& job : running) soonest = std::min(soonest, job.remaining_work / rate);
+      // Round completions UP to a whole tick so every event makes progress.
+      const auto ticks = static_cast<std::int64_t>(std::ceil(std::max(soonest, 0.0) * 1e5));
+      next_event = std::min(next_event, now + Ticks(ticks));
+    }
+    if (next_event == Ticks::max()) {
+      // Jobs are waiting but nothing runs and nothing arrives: stuck.
+      throw Error("batch system deadlocked: waiting jobs cannot be admitted");
+    }
+
+    advance_work(now, next_event);
+    now = next_event;
+
+    // Retire completed jobs (work within a tick of zero).
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (running[i].remaining_work <= 1e-9) {
+        RunningJob done = std::move(running[i]);
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        memory_.free(done.address, done.spec.memory);
+        queue_resident_[done.queue] -= done.spec.memory;
+        JobResult jr;
+        jr.name = done.spec.name;
+        jr.queue = queues_[done.queue].name;
+        jr.submit_time = done.spec.submit_time;
+        jr.start_time = done.started;
+        jr.finish_time = now;
+        jr.memory = done.spec.memory;
+        jr.cpu_time = done.spec.cpu_time;
+        result.jobs.push_back(jr);
+      }
+    }
+    // Move arrivals due now into their queues.
+    while (next_arrival < submitted_.size() &&
+           submitted_[next_arrival].spec.submit_time <= now) {
+      const PendingJob& job = submitted_[next_arrival];
+      waiting_[job.queue].push_back(job);
+      ++next_arrival;
+    }
+    admit_from_queues(now);
+  }
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace craysim::batch

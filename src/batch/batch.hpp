@@ -1,0 +1,127 @@
+// The UNICOS batch environment of Section 2.2.
+//
+//   "Batch jobs ... are queued according to two resource requirements — CPU
+//    time and memory space. As the Cray Y-MP does not have virtual memory,
+//    all of a program's memory must be contiguously allocated when the
+//    program starts up, and cannot be released until the program finishes.
+//    To simplify memory allocation, each queue is given a fixed memory
+//    space. ... for a given amount of CPU time required by an application,
+//    turnaround time is shortest for the application which requires the
+//    least main memory. Programmers take advantage of this by structuring
+//    their program to use smaller in-memory data structures while staging
+//    data to/from SSD or disk."
+//
+// This module simulates that environment at job granularity: memory-class
+// queues over a contiguous physical-memory allocator, and processor-sharing
+// execution on n CPUs. It explains *why* programs like venus trade memory
+// for I/O — the trade the rest of craysim then simulates at I/O granularity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace craysim::batch {
+
+/// A batch job submission.
+struct JobSpec {
+  std::string name;
+  Bytes memory = 0;      ///< contiguous allocation held for the whole run
+  Ticks cpu_time;        ///< total CPU work
+  Ticks submit_time;     ///< when the job enters the system
+};
+
+/// One job class ("queue"): admission limits plus the fixed slice of
+/// physical memory the queue's resident jobs may occupy in aggregate.
+struct QueueConfig {
+  std::string name;
+  Bytes max_job_memory = 0;   ///< jobs above this go to a bigger queue
+  Ticks max_cpu_time;         ///< jobs above this go to a longer queue
+  Bytes memory_partition = 0; ///< aggregate resident memory for this queue
+};
+
+/// Per-job outcome.
+struct JobResult {
+  std::string name;
+  std::string queue;
+  Ticks submit_time;
+  Ticks start_time;     ///< when memory was allocated and execution began
+  Ticks finish_time;
+  Bytes memory = 0;
+  Ticks cpu_time;
+
+  [[nodiscard]] Ticks wait_time() const { return start_time - submit_time; }
+  [[nodiscard]] Ticks turnaround() const { return finish_time - submit_time; }
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< in completion order
+  Ticks makespan;
+
+  /// Result of the job with the given name (first match).
+  [[nodiscard]] const JobResult* find(const std::string& name) const;
+};
+
+/// Contiguous physical-memory allocator (no virtual memory): first-fit with
+/// coalescing free.
+class ContiguousMemory {
+ public:
+  explicit ContiguousMemory(Bytes capacity);
+
+  /// Allocates `size` contiguous bytes; nullopt when no hole is big enough
+  /// (external fragmentation is real on this machine).
+  [[nodiscard]] std::optional<Bytes> allocate(Bytes size);
+  void free(Bytes address, Bytes size);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes free_bytes() const { return free_total_; }
+  /// Largest single hole (what contiguity actually constrains).
+  [[nodiscard]] Bytes largest_hole() const;
+
+ private:
+  Bytes capacity_;
+  Bytes free_total_;
+  std::map<Bytes, Bytes> holes_;  ///< start -> size
+};
+
+/// The batch system: queues + memory + processor-sharing CPUs.
+class BatchSystem {
+ public:
+  /// `queues` are scanned in order at routing and admission time, so put
+  /// small/short queues first (they get first shot at freed memory).
+  BatchSystem(std::int32_t cpus, Bytes memory, std::vector<QueueConfig> queues);
+
+  /// Submits a job. Throws ConfigError if no queue admits its limits.
+  void submit(const JobSpec& job);
+
+  /// Runs the whole schedule to completion.
+  [[nodiscard]] BatchResult run();
+
+ private:
+  struct PendingJob {
+    JobSpec spec;
+    std::size_t queue = 0;
+    std::uint64_t seq = 0;
+  };
+  struct RunningJob {
+    JobSpec spec;
+    std::size_t queue = 0;
+    Ticks started;
+    Bytes address = 0;
+    double remaining_work = 0;  ///< seconds of CPU still needed
+  };
+
+  std::int32_t cpus_;
+  ContiguousMemory memory_;
+  std::vector<QueueConfig> queues_;
+  std::vector<Bytes> queue_resident_;   ///< memory occupied per queue
+  std::vector<std::vector<PendingJob>> waiting_;  ///< FIFO per queue
+  std::vector<PendingJob> submitted_;   ///< not yet arrived
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace craysim::batch

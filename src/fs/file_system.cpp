@@ -1,0 +1,198 @@
+#include "fs/file_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace craysim::fs {
+
+FileSystem::FileSystem(DiskLayout layout, FsOptions options)
+    : layout_(std::move(layout)), options_(options) {
+  if (layout_.disks.empty()) throw ConfigError("file system needs at least one disk");
+  const Bytes bs = layout_.disks.front().block_size;
+  for (const auto& d : layout_.disks) {
+    if (d.block_size != bs) throw ConfigError("all disks must share one block size");
+  }
+  if (options_.extent_size < bs || options_.extent_size % bs != 0) {
+    throw ConfigError("extent size must be a positive multiple of the block size");
+  }
+  free_.resize(layout_.disks.size());
+  for (std::size_t i = 0; i < layout_.disks.size(); ++i) {
+    const std::int64_t blocks = layout_.disks[i].num_blocks();
+    free_[i].free_runs[0] = blocks;
+    free_[i].free_blocks = blocks;
+  }
+}
+
+FileId FileSystem::create(const std::string& name) {
+  if (by_name_.contains(name)) throw FsError("file exists: " + name);
+  const FileId id = next_id_++;
+  Inode inode;
+  inode.id = id;
+  inode.name = name;
+  inodes_[id] = std::move(inode);
+  by_name_[name] = id;
+  return id;
+}
+
+std::optional<FileId> FileSystem::lookup(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FileSystem::ensure_allocated(FileId file, Bytes offset, Bytes length) {
+  const auto it = inodes_.find(file);
+  if (it == inodes_.end()) throw FsError("unknown file id " + std::to_string(file));
+  if (offset < 0 || length < 0) throw FsError("negative range");
+  Inode& inode = it->second;
+  const Bytes extent_bytes = options_.extent_size;
+  const Bytes end = offset + length;
+
+  // Files are allocated as a dense sequence of fixed-size extents; grow the
+  // chain until it covers `end`. (Supercomputer data files are written
+  // densely, so holes are not worth supporting.)
+  Bytes allocated = static_cast<Bytes>(inode.extents.size()) * extent_bytes;
+  while (allocated < end) {
+    const DiskId preferred =
+        options_.placement == PlacementPolicy::kFileAffinity
+            ? static_cast<DiskId>(inode.id % layout_.disks.size())
+            : rr_cursor_;
+    auto extent = allocate_blocks(extent_bytes / block_size(), preferred);
+    if (!extent) throw FsError("disk farm full allocating for " + inode.name);
+    extent->file_offset = allocated;
+    inode.extents.push_back(*extent);
+    allocated += extent_bytes;
+  }
+  inode.size = std::max(inode.size, end);
+}
+
+std::vector<PhysicalRange> FileSystem::translate(FileId file, Bytes offset, Bytes length) {
+  ensure_allocated(file, offset, length);
+  const Inode& inode = inodes_.at(file);
+  std::vector<PhysicalRange> out;
+  if (length <= 0) return out;
+
+  const Bytes bs = block_size();
+  const Bytes extent_bytes = options_.extent_size;
+  // Physical I/O happens in whole blocks: widen to block boundaries.
+  Bytes cursor = (offset / bs) * bs;
+  const Bytes end = ((offset + length + bs - 1) / bs) * bs;
+  while (cursor < end) {
+    const auto extent_index = static_cast<std::size_t>(cursor / extent_bytes);
+    assert(extent_index < inode.extents.size());
+    const Extent& extent = inode.extents[extent_index];
+    const Bytes within = cursor - extent.file_offset;
+    const Bytes avail = extent_bytes - within;
+    const Bytes take = std::min(avail, end - cursor);
+    PhysicalRange range;
+    range.disk = extent.disk;
+    range.start_block = extent.start_block + within / bs;
+    range.block_count = take / bs;
+    // Merge with the previous range when physically contiguous.
+    if (!out.empty() && out.back().disk == range.disk &&
+        out.back().start_block + out.back().block_count == range.start_block) {
+      out.back().block_count += range.block_count;
+    } else {
+      out.push_back(range);
+    }
+    cursor += take;
+  }
+  return out;
+}
+
+void FileSystem::remove(FileId file) {
+  const auto it = inodes_.find(file);
+  if (it == inodes_.end()) throw FsError("unknown file id " + std::to_string(file));
+  for (const Extent& extent : it->second.extents) free_extent(extent);
+  by_name_.erase(it->second.name);
+  inodes_.erase(it);
+}
+
+const Inode& FileSystem::inode(FileId file) const {
+  const auto it = inodes_.find(file);
+  if (it == inodes_.end()) throw FsError("unknown file id " + std::to_string(file));
+  return it->second;
+}
+
+Bytes FileSystem::free_bytes() const {
+  Bytes total = 0;
+  for (const auto& d : free_) total += d.free_blocks * block_size();
+  return total;
+}
+
+Bytes FileSystem::used_bytes() const { return layout_.total_capacity() - free_bytes(); }
+
+std::size_t FileSystem::extent_count(FileId file) const { return inode(file).extents.size(); }
+
+std::optional<Extent> FileSystem::allocate_blocks(std::int64_t blocks, DiskId preferred) {
+  const auto disk_count = static_cast<DiskId>(layout_.disks.size());
+  switch (options_.placement) {
+    case PlacementPolicy::kRoundRobin: {
+      for (DiskId i = 0; i < disk_count; ++i) {
+        const DiskId disk = (rr_cursor_ + i) % disk_count;
+        if (auto e = allocate_on_disk(disk, blocks)) {
+          rr_cursor_ = (disk + 1) % disk_count;
+          return e;
+        }
+      }
+      return std::nullopt;
+    }
+    case PlacementPolicy::kFirstFit: {
+      for (DiskId disk = 0; disk < disk_count; ++disk) {
+        if (auto e = allocate_on_disk(disk, blocks)) return e;
+      }
+      return std::nullopt;
+    }
+    case PlacementPolicy::kFileAffinity: {
+      for (DiskId i = 0; i < disk_count; ++i) {
+        const DiskId disk = (preferred + i) % disk_count;
+        if (auto e = allocate_on_disk(disk, blocks)) return e;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Extent> FileSystem::allocate_on_disk(DiskId disk, std::int64_t blocks) {
+  DiskFree& df = free_[disk];
+  for (auto it = df.free_runs.begin(); it != df.free_runs.end(); ++it) {
+    if (it->second >= blocks) {
+      Extent extent;
+      extent.disk = disk;
+      extent.start_block = it->first;
+      extent.block_count = blocks;
+      const std::int64_t remaining = it->second - blocks;
+      const std::int64_t new_start = it->first + blocks;
+      df.free_runs.erase(it);
+      if (remaining > 0) df.free_runs[new_start] = remaining;
+      df.free_blocks -= blocks;
+      return extent;
+    }
+  }
+  return std::nullopt;
+}
+
+void FileSystem::free_extent(const Extent& extent) {
+  DiskFree& df = free_[extent.disk];
+  auto [it, inserted] = df.free_runs.emplace(extent.start_block, extent.block_count);
+  assert(inserted);
+  df.free_blocks += extent.block_count;
+  // Coalesce with successor, then predecessor.
+  auto next = std::next(it);
+  if (next != df.free_runs.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    df.free_runs.erase(next);
+  }
+  if (it != df.free_runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      df.free_runs.erase(it);
+    }
+  }
+}
+
+}  // namespace craysim::fs

@@ -1,0 +1,119 @@
+// Extent-based file system substrate.
+//
+// The paper collected logical traces only, but its format reserves physical
+// records ("fileId is an identifier for the disk written to"). This module
+// supplies the missing piece: a file table plus an extent allocator that maps
+// logical byte ranges onto (disk, block) ranges, so logical traces can be
+// expanded into physical ones and simulated against per-disk models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/layout.hpp"
+#include "util/units.hpp"
+
+namespace craysim::fs {
+
+using FileId = std::uint32_t;
+using DiskId = std::uint32_t;
+
+/// How new extents are placed across the farm.
+enum class PlacementPolicy {
+  kRoundRobin,   ///< stripe successive extents over all disks
+  kFirstFit,     ///< fill disk 0, then disk 1, ... (maximizes per-file locality)
+  kFileAffinity, ///< each file prefers the disk chosen at creation (classic UNICOS-style)
+};
+
+/// A contiguous run of physical blocks backing part of a file.
+struct Extent {
+  Bytes file_offset = 0;  ///< first byte of the file this extent backs
+  DiskId disk = 0;
+  std::int64_t start_block = 0;
+  std::int64_t block_count = 0;
+
+  [[nodiscard]] Bytes length(Bytes block_size) const { return block_count * block_size; }
+};
+
+/// A physical range produced by translation.
+struct PhysicalRange {
+  DiskId disk = 0;
+  std::int64_t start_block = 0;
+  std::int64_t block_count = 0;
+};
+
+struct FsOptions {
+  PlacementPolicy placement = PlacementPolicy::kFileAffinity;
+  Bytes extent_size = Bytes{1} * kMiB;  ///< allocation granularity
+};
+
+/// File metadata.
+struct Inode {
+  FileId id = 0;
+  std::string name;
+  Bytes size = 0;  ///< logical size (highest byte written/allocated)
+  std::vector<Extent> extents;
+};
+
+/// The file system: create/open files, allocate on demand, translate logical
+/// ranges to physical block ranges. Thread-compatible (no internal locking);
+/// simulation drives it from a single thread.
+class FileSystem {
+ public:
+  explicit FileSystem(DiskLayout layout, FsOptions options = {});
+
+  /// Creates a file; returns its id. Throws FsError on duplicate names.
+  FileId create(const std::string& name);
+
+  /// Id lookup by name; nullopt if absent.
+  [[nodiscard]] std::optional<FileId> lookup(const std::string& name) const;
+
+  /// Ensures [offset, offset+length) is backed by extents, allocating as
+  /// needed (alignment to extent_size). Grows the file size. Throws FsError
+  /// when the farm is full or the file id is unknown.
+  void ensure_allocated(FileId file, Bytes offset, Bytes length);
+
+  /// Maps a logical range to physical ranges. Allocates backing store on
+  /// demand (reading a hole behaves like writing: the paper's programs
+  /// preallocate by streaming, so on-demand allocation is equivalent).
+  [[nodiscard]] std::vector<PhysicalRange> translate(FileId file, Bytes offset, Bytes length);
+
+  /// Removes the file and frees its extents.
+  void remove(FileId file);
+
+  [[nodiscard]] const Inode& inode(FileId file) const;
+  [[nodiscard]] Bytes block_size() const { return layout_.disks.front().block_size; }
+  [[nodiscard]] const DiskLayout& layout() const { return layout_; }
+  [[nodiscard]] Bytes free_bytes() const;
+  [[nodiscard]] Bytes used_bytes() const;
+  [[nodiscard]] std::size_t file_count() const { return inodes_.size(); }
+
+  /// Extents allocated so far for a file (metadata I/O accounting).
+  [[nodiscard]] std::size_t extent_count(FileId file) const;
+
+ private:
+  struct DiskFree {
+    // Free extents as [start_block -> block_count), coalesced on free.
+    std::map<std::int64_t, std::int64_t> free_runs;
+    std::int64_t free_blocks = 0;
+  };
+
+  /// Allocates `blocks` physical blocks on some disk per policy; returns the
+  /// extent or nullopt when no disk has a large enough contiguous run.
+  std::optional<Extent> allocate_blocks(std::int64_t blocks, DiskId preferred);
+  std::optional<Extent> allocate_on_disk(DiskId disk, std::int64_t blocks);
+  void free_extent(const Extent& extent);
+
+  DiskLayout layout_;
+  FsOptions options_;
+  std::vector<DiskFree> free_;
+  std::map<FileId, Inode> inodes_;
+  std::map<std::string, FileId> by_name_;
+  FileId next_id_ = 1;
+  DiskId rr_cursor_ = 0;
+};
+
+}  // namespace craysim::fs

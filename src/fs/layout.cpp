@@ -1,0 +1,28 @@
+#include "fs/layout.hpp"
+
+#include "util/error.hpp"
+
+namespace craysim::fs {
+
+DiskLayout DiskLayout::uniform(std::size_t disk_count, Bytes capacity_each, Bytes block_size) {
+  if (disk_count == 0) throw ConfigError("layout needs at least one disk");
+  if (capacity_each <= 0 || block_size <= 0 || capacity_each < block_size) {
+    throw ConfigError("invalid disk geometry");
+  }
+  DiskLayout layout;
+  layout.disks.assign(disk_count, DiskGeometry{capacity_each, block_size});
+  return layout;
+}
+
+DiskLayout DiskLayout::nasa_ames_default() {
+  // 30 x ~1.17 GB ~= 35.2 GB, the aggregate the paper reports.
+  return uniform(30, Bytes{1174} * kMB);
+}
+
+Bytes DiskLayout::total_capacity() const {
+  Bytes total = 0;
+  for (const auto& d : disks) total += d.capacity;
+  return total;
+}
+
+}  // namespace craysim::fs

@@ -1,0 +1,37 @@
+// Disk-farm layout description for the file-system substrate.
+//
+// The paper's NASA Ames Cray Y-MP had "many high-speed disks, each capable of
+// sustaining 9.6 MB/sec, totalling 35.2 GB". The default layout models that
+// farm; all values are configurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace craysim::fs {
+
+/// One physical disk: capacity and the block size the FS uses on it.
+struct DiskGeometry {
+  Bytes capacity = Bytes{1200} * kMB;  ///< per-disk capacity
+  Bytes block_size = 4 * kKiB;         ///< physical I/O unit
+
+  [[nodiscard]] std::int64_t num_blocks() const { return capacity / block_size; }
+};
+
+/// The whole farm.
+struct DiskLayout {
+  std::vector<DiskGeometry> disks;
+
+  [[nodiscard]] static DiskLayout uniform(std::size_t disk_count, Bytes capacity_each,
+                                          Bytes block_size = 4 * kKiB);
+
+  /// The paper's farm: about 30 disks x 1.2 GB = 35.2 GB aggregate.
+  [[nodiscard]] static DiskLayout nasa_ames_default();
+
+  [[nodiscard]] Bytes total_capacity() const;
+  [[nodiscard]] std::size_t disk_count() const { return disks.size(); }
+};
+
+}  // namespace craysim::fs

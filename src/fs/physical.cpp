@@ -1,0 +1,79 @@
+#include "fs/physical.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "trace/record.hpp"
+
+namespace craysim::fs {
+
+ExpansionResult expand_to_physical(const trace::Trace& logical, FileSystem& fs,
+                                   const ExpansionOptions& options) {
+  ExpansionResult result;
+  result.combined.reserve(logical.size() * 2);
+  // Logical trace file ids -> fs file ids (created on first sight).
+  std::unordered_map<std::uint32_t, FileId> fs_ids;
+  std::unordered_map<std::uint32_t, std::size_t> known_extents;
+
+  for (const trace::TraceRecord& r : logical) {
+    if (!r.is_logical()) continue;  // already-physical input is dropped, not duplicated
+    result.combined.push_back(r);
+    if (r.data_class() != trace::DataClass::kFileData || r.length <= 0) continue;
+
+    auto [it, inserted] = fs_ids.try_emplace(r.file_id, 0);
+    if (inserted) {
+      it->second = fs.create("traced-file-" + std::to_string(r.file_id));
+    }
+    const FileId fs_file = it->second;
+    const std::size_t extents_before = known_extents[r.file_id];
+    const auto ranges = fs.translate(fs_file, r.offset, r.length);
+    const std::size_t extents_after = fs.extent_count(fs_file);
+    known_extents[r.file_id] = extents_after;
+
+    // Metadata I/O for each extent the request caused to be allocated
+    // (indirect-block update on the extent's disk).
+    if (options.emit_metadata) {
+      for (std::size_t e = extents_before; e < extents_after; ++e) {
+        const Extent& extent = fs.inode(fs_file).extents[e];
+        trace::TraceRecord meta;
+        meta.record_type = trace::make_record_type(/*logical=*/false, /*write=*/true,
+                                                   /*async=*/true, trace::DataClass::kMetaData);
+        // In-memory record fields are bytes; the codec re-expresses them in
+        // TRACE_BLOCK_SIZE units on the wire when divisible.
+        meta.offset = extent.start_block * fs.block_size();
+        meta.length = fs.block_size();  // one FS block of metadata
+        meta.start_time = r.start_time;
+        meta.completion_time = options.timing.metadata_service;
+        meta.operation_id = r.operation_id;
+        meta.file_id = options.disk_file_id_base + extent.disk;
+        meta.process_id = options.system_process_id;
+        meta.process_time = Ticks::zero();
+        result.combined.push_back(meta);
+        ++result.metadata_records;
+      }
+    }
+
+    for (const PhysicalRange& range : ranges) {
+      trace::TraceRecord phys;
+      phys.record_type = trace::make_record_type(/*logical=*/false, r.is_write(), r.is_async(),
+                                                 trace::DataClass::kFileData);
+      const Bytes bytes = range.block_count * fs.block_size();
+      phys.offset = range.start_block * fs.block_size();
+      phys.length = bytes;
+      phys.start_time = r.start_time;
+      phys.completion_time =
+          options.timing.fixed_overhead +
+          options.timing.per_block * (range.block_count * fs.block_size() / (4 * kKiB));
+      phys.operation_id = r.operation_id;
+      phys.file_id = options.disk_file_id_base + range.disk;
+      phys.process_id = options.system_process_id;
+      phys.process_time = Ticks::zero();
+      result.combined.push_back(phys);
+      ++result.physical_records;
+      result.physical_bytes += bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace craysim::fs

@@ -1,0 +1,124 @@
+#include "mss/mss.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace craysim::mss {
+
+MassStorageSystem::MassStorageSystem(TapeParams params) : params_(params) {
+  if (params_.drives < 1) throw ConfigError("MSS needs at least one drive");
+  if (params_.cartridge_capacity <= 0 || params_.bandwidth_mb_s <= 0 ||
+      params_.position_mb_per_s <= 0) {
+    throw ConfigError("invalid tape parameters");
+  }
+  drives_.resize(static_cast<std::size_t>(params_.drives));
+}
+
+FileId MassStorageSystem::archive(const std::string& name, Bytes size, bool nearline) {
+  if (size <= 0) throw ConfigError("archived file needs positive size");
+  if (size > params_.cartridge_capacity) {
+    throw ConfigError("file '" + name + "' exceeds one cartridge");
+  }
+  if (by_name_.contains(name)) throw ConfigError("file exists in MSS: " + name);
+  // Append to the last cartridge of matching class with room, else start one.
+  TapeId tape = 0;
+  bool found = false;
+  for (std::size_t t = tape_fill_.size(); t-- > 0;) {
+    if (tape_nearline_[t] == nearline && tape_fill_[t] + size <= params_.cartridge_capacity) {
+      tape = static_cast<TapeId>(t);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    tape = static_cast<TapeId>(tape_fill_.size());
+    tape_fill_.push_back(0);
+    tape_nearline_.push_back(nearline);
+  }
+  FileInfo info;
+  info.id = next_file_++;
+  info.name = name;
+  info.size = size;
+  info.tape = tape;
+  info.offset = tape_fill_[tape];
+  info.nearline = nearline;
+  tape_fill_[tape] += size;
+  by_name_[name] = info.id;
+  files_[info.id] = info;
+  return info.id;
+}
+
+const FileInfo& MassStorageSystem::info(FileId file) const {
+  const auto it = files_.find(file);
+  if (it == files_.end()) throw ConfigError("unknown MSS file id " + std::to_string(file));
+  return it->second;
+}
+
+std::optional<FileId> MassStorageSystem::lookup(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Ticks MassStorageSystem::transfer_time(Bytes bytes) const {
+  return Ticks::from_seconds(static_cast<double>(bytes) / 1e6 / params_.bandwidth_mb_s);
+}
+
+Ticks MassStorageSystem::position_time(Bytes offset) const {
+  return Ticks::from_seconds(static_cast<double>(offset) / 1e6 / params_.position_mb_per_s);
+}
+
+Ticks MassStorageSystem::cold_stage_latency(FileId file) const {
+  const FileInfo& f = info(file);
+  const Ticks mount = f.nearline ? params_.robot_mount
+                                 : params_.robot_mount + params_.operator_fetch;
+  return mount + position_time(f.offset) + transfer_time(f.size);
+}
+
+Ticks MassStorageSystem::stage(Ticks now, FileId file) {
+  const FileInfo& f = info(file);
+  ++stats_.stage_requests;
+
+  // Prefer a drive that already has the cartridge loaded; otherwise the one
+  // that frees up first.
+  std::size_t chosen = 0;
+  bool loaded = false;
+  for (std::size_t d = 0; d < drives_.size(); ++d) {
+    if (drives_[d].loaded == f.tape) {
+      chosen = d;
+      loaded = true;
+      break;
+    }
+  }
+  if (!loaded) {
+    for (std::size_t d = 1; d < drives_.size(); ++d) {
+      if (drives_[d].free_at < drives_[chosen].free_at) chosen = d;
+    }
+  }
+  Drive& drive = drives_[chosen];
+  const Ticks start = std::max(now, drive.free_at);
+  stats_.drive_queue_wait += start - now;
+
+  Ticks t = start;
+  if (!loaded) {
+    if (drive.loaded.has_value()) t += params_.unmount;
+    if (!f.nearline) {
+      t += params_.operator_fetch;
+      ++stats_.operator_mounts;
+    } else {
+      ++stats_.robot_mounts;
+    }
+    t += params_.robot_mount;
+    drive.loaded = f.tape;
+  } else {
+    ++stats_.already_loaded;
+  }
+  t += position_time(f.offset);
+  t += transfer_time(f.size);
+  drive.free_at = t;
+  stats_.bytes_staged += f.size;
+  return t;
+}
+
+}  // namespace craysim::mss

@@ -1,0 +1,105 @@
+// The NASA Ames Mass Storage System of Section 2.2:
+//
+//   "... and several terabytes of nearline and offline tape storage. The
+//    tape storage is divided into two parts — a nearline storage facility
+//    called the Mass Storage System (MSS), which can automatically mount
+//    tapes with requested data, and the extensive offline tape library
+//    which requires operator intervention."
+//
+// A file-granularity model of that hierarchy: files live on 3480-class
+// cartridges; staging a file to disk costs a drive (FIFO over a small drive
+// pool), a robot or operator mount when the cartridge is not loaded, tape
+// positioning, and the streaming transfer. The paper does not evaluate the
+// MSS quantitatively, so this substrate carries examples and tests rather
+// than a reproduction bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace craysim::mss {
+
+using FileId = std::uint32_t;
+using TapeId = std::uint32_t;
+
+struct TapeParams {
+  Bytes cartridge_capacity = Bytes{200} * kMB;  ///< a 3480-class cartridge
+  std::int32_t drives = 2;                      ///< nearline drive pool
+  Ticks robot_mount = Ticks::from_seconds(25);  ///< automatic nearline mount
+  Ticks unmount = Ticks::from_seconds(15);
+  /// Offline cartridges need a human: minutes, not seconds.
+  Ticks operator_fetch = Ticks::from_seconds(480);
+  double bandwidth_mb_s = 2.0;                  ///< streaming transfer rate
+  /// Winding the tape to the file: proportional to the offset.
+  double position_mb_per_s = 60.0;
+};
+
+/// Where a file lives in the library.
+struct FileInfo {
+  FileId id = 0;
+  std::string name;
+  Bytes size = 0;
+  TapeId tape = 0;
+  Bytes offset = 0;      ///< position on the cartridge
+  bool nearline = true;  ///< false: offline vault, operator required
+};
+
+struct MssStats {
+  std::int64_t stage_requests = 0;
+  std::int64_t robot_mounts = 0;
+  std::int64_t operator_mounts = 0;
+  std::int64_t already_loaded = 0;  ///< requests served without a mount
+  Bytes bytes_staged = 0;
+  Ticks drive_queue_wait;           ///< waiting for a free drive
+};
+
+/// The tape library + drive pool. Thread-compatible, deterministic.
+class MassStorageSystem {
+ public:
+  explicit MassStorageSystem(TapeParams params = {});
+
+  /// Archives a file; cartridges fill append-only and a file never spans
+  /// cartridges (a new one is started when it would not fit). Throws
+  /// ConfigError for non-positive sizes or files bigger than a cartridge.
+  FileId archive(const std::string& name, Bytes size, bool nearline = true);
+
+  /// Requests a stage-in of the whole file starting at `now`; returns the
+  /// completion time. Accounts drive queueing, mount (robot or operator),
+  /// tape positioning, and transfer. Consecutive requests for files on the
+  /// same cartridge reuse the loaded tape.
+  [[nodiscard]] Ticks stage(Ticks now, FileId file);
+
+  [[nodiscard]] const FileInfo& info(FileId file) const;
+  [[nodiscard]] std::optional<FileId> lookup(const std::string& name) const;
+  [[nodiscard]] std::size_t cartridge_count() const { return tape_fill_.size(); }
+  [[nodiscard]] const MssStats& stats() const { return stats_; }
+
+  /// Pure latency query (no state change): what staging this file costs in
+  /// the best case (drive free, tape unloaded).
+  [[nodiscard]] Ticks cold_stage_latency(FileId file) const;
+
+ private:
+  struct Drive {
+    Ticks free_at;
+    std::optional<TapeId> loaded;
+  };
+
+  Ticks transfer_time(Bytes bytes) const;
+  Ticks position_time(Bytes offset) const;
+
+  TapeParams params_;
+  std::map<FileId, FileInfo> files_;
+  std::map<std::string, FileId> by_name_;
+  std::vector<Bytes> tape_fill_;    ///< bytes used per cartridge (nearline+offline mixed)
+  std::vector<bool> tape_nearline_;
+  std::vector<Drive> drives_;
+  FileId next_file_ = 1;
+  MssStats stats_;
+};
+
+}  // namespace craysim::mss

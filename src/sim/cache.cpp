@@ -1,0 +1,422 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace craysim::sim {
+namespace {
+
+std::int64_t first_block_of(Bytes offset, Bytes block_size) { return offset / block_size; }
+
+std::int64_t end_block_of(Bytes offset, Bytes length, Bytes block_size) {
+  return (offset + length + block_size - 1) / block_size;
+}
+
+}  // namespace
+
+BufferCache::BufferCache(const CacheParams& params, CacheMetrics& metrics)
+    : params_(params), metrics_(&metrics) {
+  if (params_.block_size <= 0) throw ConfigError("cache block size must be positive");
+  if (params_.capacity < params_.block_size) {
+    throw ConfigError("cache capacity smaller than one block");
+  }
+  capacity_blocks_ = params_.capacity / params_.block_size;
+  cap_blocks_per_process_ =
+      params_.per_process_cap > 0 ? params_.per_process_cap / params_.block_size : 0;
+  if (params_.per_process_cap > 0 && cap_blocks_per_process_ == 0) {
+    throw ConfigError("per-process cap smaller than one block");
+  }
+}
+
+std::int64_t BufferCache::owned_blocks(std::uint32_t pid) const {
+  const auto it = owned_.find(pid);
+  return it == owned_.end() ? 0 : it->second;
+}
+
+bool BufferCache::can_allocate(std::int64_t need, std::uint32_t pid) const {
+  if (need <= 0) return true;
+  if (need > free_blocks() + static_cast<std::int64_t>(lru_.size())) return false;
+  if (cap_blocks_per_process_ > 0) {
+    const std::int64_t own = owned_blocks(pid);
+    if (own + need > cap_blocks_per_process_) {
+      // Over the cap: the process must be able to evict enough of its own
+      // clean blocks to stay within its allowance.
+      std::int64_t own_clean = 0;
+      for (std::uint64_t key : lru_) {
+        const auto it = blocks_.find(key);
+        if (it != blocks_.end() && it->second.owner == pid) ++own_clean;
+      }
+      if (own + need - own_clean > cap_blocks_per_process_) return false;
+    }
+  }
+  return true;
+}
+
+void BufferCache::evict_one(std::uint32_t prefer_owner) {
+  assert(!lru_.empty());
+  auto victim = lru_.begin();
+  if (prefer_owner != 0) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      const auto b = blocks_.find(*it);
+      if (b != blocks_.end() && b->second.owner == prefer_owner) {
+        victim = it;
+        break;
+      }
+    }
+  }
+  const std::uint64_t key = *victim;
+  const auto it = blocks_.find(key);
+  assert(it != blocks_.end() && it->second.state == State::kClean);
+  --owned_[it->second.owner];
+  lru_.erase(victim);
+  blocks_.erase(it);
+  ++metrics_->evictions;
+}
+
+void BufferCache::insert_block(std::uint64_t key, State state, std::uint32_t pid,
+                               std::uint64_t op_id, bool from_readahead) {
+  std::uint32_t prefer = 0;
+  if (cap_blocks_per_process_ > 0 && owned_blocks(pid) + 1 > cap_blocks_per_process_) {
+    prefer = pid;  // stay within the allowance by evicting our own blocks
+  }
+  if (free_blocks() == 0 || prefer != 0) evict_one(prefer);
+  Block block;
+  block.state = state;
+  block.owner = pid;
+  block.op_id = op_id;
+  block.from_readahead = from_readahead;
+  if (state == State::kClean) {
+    lru_.push_back(key);
+    block.lru_pos = std::prev(lru_.end());
+  } else if (state == State::kDirty) {
+    dirty_.insert(key);
+    ++dirty_count_;
+  }
+  blocks_.emplace(key, block);
+  ++owned_[pid];
+}
+
+void BufferCache::touch_clean(std::uint64_t key, Block& block) {
+  assert(block.state == State::kClean);
+  lru_.splice(lru_.end(), lru_, block.lru_pos);
+  block.lru_pos = std::prev(lru_.end());
+  (void)key;
+}
+
+void BufferCache::make_dirty(std::uint64_t key, Block& block, std::uint32_t pid) {
+  switch (block.state) {
+    case State::kClean:
+      lru_.erase(block.lru_pos);
+      block.state = State::kDirty;
+      dirty_.insert(key);
+      ++dirty_count_;
+      break;
+    case State::kDirty:
+      break;
+    case State::kFetching:
+      // Overwritten before the fetch landed; the fetched data is stale.
+      block.state = State::kDirty;
+      dirty_.insert(key);
+      ++dirty_count_;
+      break;
+    case State::kFlushing:
+      block.redirtied = true;
+      break;
+  }
+  block.owner = pid;
+  block.from_readahead = false;
+}
+
+BufferCache::ReadPlan BufferCache::plan_read(std::uint32_t pid, std::uint32_t file, Bytes offset,
+                                             Bytes length, std::uint64_t first_op_id) {
+  ReadPlan plan;
+  const Bytes bs = params_.block_size;
+  const std::int64_t b0 = first_block_of(offset, bs);
+  const std::int64_t b1 = end_block_of(offset, length, bs);
+  const std::int64_t span = b1 - b0;
+  ++metrics_->read_requests;
+
+  if (span > capacity_blocks_) {
+    plan.bypass = true;
+    ++metrics_->read_misses;
+    return plan;
+  }
+
+  // Pass 1 (no mutation): classify blocks.
+  std::int64_t missing = 0;
+  for (std::int64_t b = b0; b < b1; ++b) {
+    if (!blocks_.contains(key_of(file, b))) ++missing;
+  }
+  if (missing > 0 && !can_allocate(missing, pid)) {
+    plan.space_wait = true;
+    --metrics_->read_requests;  // the retry will count it
+    return plan;
+  }
+
+  // Pass 2: touch hits, join in-flight fetches, insert missing as Fetching.
+  std::int64_t present = 0;
+  for (std::int64_t b = b0; b < b1; ++b) {
+    const std::uint64_t key = key_of(file, b);
+    const auto it = blocks_.find(key);
+    if (it == blocks_.end()) {
+      const bool extends_run = !plan.fetch_runs.empty() &&
+                               plan.fetch_runs.back().file == file &&
+                               plan.fetch_runs.back().first_block + plan.fetch_runs.back().count == b;
+      if (!extends_run) plan.fetch_runs.push_back({file, b, 0});
+      insert_block(key, State::kFetching, pid,
+                   first_op_id + plan.fetch_runs.size() - 1, /*from_readahead=*/false);
+      ++plan.fetch_runs.back().count;
+      continue;
+    }
+    ++present;
+    Block& block = it->second;
+    if (block.from_readahead) {
+      ++metrics_->readahead_used_blocks;
+      block.from_readahead = false;
+      plan.readahead_hit = true;
+    }
+    if (block.state == State::kClean) {
+      touch_clean(key, block);
+    } else if (block.state == State::kFetching) {
+      if (std::find(plan.join_ops.begin(), plan.join_ops.end(), block.op_id) ==
+          plan.join_ops.end()) {
+        plan.join_ops.push_back(block.op_id);
+      }
+    }
+    // Dirty/Flushing blocks hold valid data: plain hits.
+  }
+
+  plan.full_hit = plan.fetch_runs.empty() && plan.join_ops.empty();
+  if (plan.full_hit) {
+    ++metrics_->read_full_hits;
+  } else if (present > 0) {
+    ++metrics_->read_partial_hits;
+  } else {
+    ++metrics_->read_misses;
+  }
+
+  // Sequential detection -> read-ahead suggestion ("prefetching the amount
+  // of data just read allowed the application to continue without waiting").
+  if (params_.read_ahead) {
+    SeqState& seq = sequential_[file];
+    if (seq.last_end == offset) {
+      const std::int64_t ahead = std::max<std::int64_t>(1, (length + bs - 1) / bs);
+      plan.readahead = BlockRun{file, b1, ahead};
+    }
+    seq.last_end = offset + length;
+    seq.last_length = length;
+  }
+  return plan;
+}
+
+BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t file,
+                                               Bytes offset, Bytes length, std::uint64_t op_id,
+                                               bool write_behind, Ticks now) {
+  WritePlan plan;
+  const Bytes bs = params_.block_size;
+  const std::int64_t b0 = first_block_of(offset, bs);
+  const std::int64_t b1 = end_block_of(offset, length, bs);
+  const std::int64_t span = b1 - b0;
+  ++metrics_->write_requests;
+
+  if (span > capacity_blocks_) {
+    plan.bypass = true;
+    return plan;
+  }
+
+  std::int64_t missing = 0;
+  for (std::int64_t b = b0; b < b1; ++b) {
+    if (!blocks_.contains(key_of(file, b))) ++missing;
+  }
+  if (missing > 0 && !can_allocate(missing, pid)) {
+    plan.space_wait = true;
+    --metrics_->write_requests;
+    return plan;
+  }
+
+  if (write_behind) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::uint64_t key = key_of(file, b);
+      const auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        insert_block(key, State::kDirty, pid, op_id, /*from_readahead=*/false);
+        blocks_.at(key).dirty_since = now;
+      } else {
+        make_dirty(key, it->second, pid);
+        it->second.dirty_since = now;
+      }
+    }
+    plan.absorbed = true;
+    ++metrics_->write_absorbed;
+  } else {
+    // Write-through: every block goes to disk now.
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::uint64_t key = key_of(file, b);
+      const auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        insert_block(key, State::kFlushing, pid, op_id, /*from_readahead=*/false);
+      } else {
+        Block& block = it->second;
+        switch (block.state) {
+          case State::kClean:
+            lru_.erase(block.lru_pos);
+            block.state = State::kFlushing;
+            break;
+          case State::kDirty:
+            dirty_.erase(key);
+            --dirty_count_;
+            block.state = State::kFlushing;
+            break;
+          case State::kFetching:
+            block.state = State::kFlushing;
+            break;
+          case State::kFlushing:
+            break;
+        }
+        block.owner = pid;
+        block.from_readahead = false;
+      }
+      if (!plan.writethrough_runs.empty() && plan.writethrough_runs.back().file == file &&
+          plan.writethrough_runs.back().first_block + plan.writethrough_runs.back().count == b) {
+        ++plan.writethrough_runs.back().count;
+      } else {
+        plan.writethrough_runs.push_back({file, b, 1});
+      }
+    }
+  }
+
+  // Writes also advance the sequential detector (appending writes should not
+  // be mistaken for random reads later).
+  if (params_.read_ahead) {
+    SeqState& seq = sequential_[file];
+    seq.last_end = offset + length;
+    seq.last_length = length;
+  }
+  return plan;
+}
+
+std::optional<BlockRun> BufferCache::try_issue_readahead(std::uint32_t pid,
+                                                         const BlockRun& candidate,
+                                                         std::uint64_t op_id) {
+  if (candidate.count <= 0) return std::nullopt;
+  // Only prefetch when the whole candidate is absent (the frontier case).
+  for (std::int64_t i = 0; i < candidate.count; ++i) {
+    if (blocks_.contains(key_of(candidate.file, candidate.first_block + i))) {
+      return std::nullopt;
+    }
+  }
+  if (!can_allocate(candidate.count, pid)) return std::nullopt;
+  for (std::int64_t i = 0; i < candidate.count; ++i) {
+    insert_block(key_of(candidate.file, candidate.first_block + i), State::kFetching, pid, op_id,
+                 /*from_readahead=*/true);
+  }
+  ++metrics_->readahead_issued;
+  metrics_->readahead_fetched_blocks += candidate.count;
+  return candidate;
+}
+
+void BufferCache::fetch_complete(const BlockRun& run) {
+  for (std::int64_t i = 0; i < run.count; ++i) {
+    const std::uint64_t key = key_of(run.file, run.first_block + i);
+    const auto it = blocks_.find(key);
+    if (it == blocks_.end()) continue;
+    Block& block = it->second;
+    if (block.state != State::kFetching) continue;  // overwritten meanwhile
+    block.state = State::kClean;
+    lru_.push_back(key);
+    block.lru_pos = std::prev(lru_.end());
+  }
+}
+
+void BufferCache::flush_complete(const BlockRun& run) {
+  for (std::int64_t i = 0; i < run.count; ++i) {
+    const std::uint64_t key = key_of(run.file, run.first_block + i);
+    const auto it = blocks_.find(key);
+    if (it == blocks_.end()) continue;
+    Block& block = it->second;
+    if (block.state != State::kFlushing) continue;
+    if (block.redirtied) {
+      block.redirtied = false;
+      block.state = State::kDirty;
+      dirty_.insert(key);
+      ++dirty_count_;
+    } else {
+      block.state = State::kClean;
+      lru_.push_back(key);
+      block.lru_pos = std::prev(lru_.end());
+    }
+  }
+}
+
+std::vector<BlockRun> BufferCache::collect_flush_batch(std::int64_t max_blocks,
+                                                       std::int64_t max_run_blocks, Ticks now,
+                                                       Ticks min_age) {
+  std::vector<BlockRun> runs;
+  std::int64_t taken = 0;
+  auto cursor = dirty_.begin();
+  while (taken < max_blocks && cursor != dirty_.end()) {
+    const std::uint64_t key = *cursor;
+    const auto it = blocks_.find(key);
+    assert(it != blocks_.end() && it->second.state == State::kDirty);
+    if (min_age > Ticks::zero() && it->second.dirty_since + min_age > now) {
+      ++cursor;  // still younger than the delayed-write threshold
+      continue;
+    }
+    cursor = dirty_.erase(cursor);
+    --dirty_count_;
+    ++taken;
+    it->second.state = State::kFlushing;
+    const std::uint32_t file = file_of(key);
+    const std::int64_t block = block_of(key);
+    const bool extends = !runs.empty() && runs.back().file == file &&
+                         runs.back().first_block + runs.back().count == block &&
+                         (max_run_blocks <= 0 || runs.back().count < max_run_blocks);
+    if (extends) {
+      ++runs.back().count;
+    } else {
+      runs.push_back({file, block, 1});
+    }
+  }
+  return runs;
+}
+
+std::int64_t BufferCache::invalidate_file(std::uint32_t file) {
+  std::int64_t cancelled = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (file_of(it->first) != file) {
+      ++it;
+      continue;
+    }
+    Block& block = it->second;
+    switch (block.state) {
+      case State::kClean:
+        lru_.erase(block.lru_pos);
+        break;
+      case State::kDirty:
+        dirty_.erase(it->first);
+        --dirty_count_;
+        ++cancelled;
+        break;
+      case State::kFetching:
+      case State::kFlushing:
+        // In-flight transfers complete against a dead block; leave them so
+        // fetch/flush_complete bookkeeping stays simple.
+        ++it;
+        continue;
+    }
+    --owned_[block.owner];
+    it = blocks_.erase(it);
+  }
+  sequential_.erase(file);
+  metrics_->writes_cancelled_blocks += cancelled;
+  return cancelled;
+}
+
+bool BufferCache::over_watermark() const {
+  return static_cast<double>(dirty_count_) >
+         params_.dirty_high_watermark * static_cast<double>(capacity_blocks_);
+}
+
+}  // namespace craysim::sim

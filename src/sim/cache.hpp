@@ -1,0 +1,160 @@
+// The block buffer cache of Section 6: LRU replacement, read-ahead,
+// write-behind, and optional per-process ownership caps.
+//
+// The cache is pure bookkeeping — it never advances time. The simulator asks
+// it to *plan* each read/write; the plan says which block runs must move
+// to/from the disk and which in-flight operations the request must join.
+// Completion notifications flow back through fetch_complete/flush_complete.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/params.hpp"
+#include "util/units.hpp"
+
+namespace craysim::sim {
+
+/// A contiguous block range of one file (unit: cache blocks).
+struct BlockRun {
+  std::uint32_t file = 0;
+  std::int64_t first_block = 0;
+  std::int64_t count = 0;
+
+  [[nodiscard]] Bytes bytes(Bytes block_size) const { return count * block_size; }
+  friend bool operator==(const BlockRun&, const BlockRun&) = default;
+};
+
+class BufferCache {
+ public:
+  BufferCache(const CacheParams& params, CacheMetrics& metrics);
+
+  struct ReadPlan {
+    bool space_wait = false;   ///< no allocatable space: retry after a flush
+    bool bypass = false;       ///< request larger than the cache: go direct
+    bool full_hit = false;     ///< served entirely from cache
+    bool readahead_hit = false;  ///< some touched block arrived via prefetch
+    std::vector<BlockRun> fetch_runs;        ///< fetches this request starts
+    std::vector<std::uint64_t> join_ops;     ///< in-flight fetches to wait on
+    std::optional<BlockRun> readahead;       ///< suggested sequential prefetch
+  };
+
+  struct WritePlan {
+    bool space_wait = false;
+    bool bypass = false;
+    bool absorbed = false;                   ///< write-behind: returns immediately
+    std::vector<BlockRun> writethrough_runs; ///< must reach disk before returning
+  };
+
+  /// Plans a read. On success, missing blocks are inserted in Fetching
+  /// state; the blocks of fetch_runs[i] are tagged with operation id
+  /// `first_op_id + i`, and the caller must issue run i under exactly that
+  /// id so later requests can join it. No state is modified when space_wait
+  /// or bypass is returned.
+  [[nodiscard]] ReadPlan plan_read(std::uint32_t pid, std::uint32_t file, Bytes offset,
+                                   Bytes length, std::uint64_t first_op_id);
+
+  /// Plans a write. Under write-behind the data lands dirty in the cache
+  /// (stamped with `now` for delayed-write age policies); otherwise blocks
+  /// enter Flushing state and the caller must issue the write-through runs.
+  [[nodiscard]] WritePlan plan_write(std::uint32_t pid, std::uint32_t file, Bytes offset,
+                                     Bytes length, std::uint64_t op_id, bool write_behind,
+                                     Ticks now = Ticks::zero());
+
+  /// Attempts to start the suggested prefetch. Never waits: returns nullopt
+  /// when blocks are already present/in-flight or space is unavailable.
+  [[nodiscard]] std::optional<BlockRun> try_issue_readahead(std::uint32_t pid,
+                                                            const BlockRun& candidate,
+                                                            std::uint64_t op_id);
+
+  /// Marks a completed demand/readahead fetch: Fetching -> Clean.
+  void fetch_complete(const BlockRun& run);
+
+  /// Marks a completed flush or write-through: Flushing -> Clean.
+  void flush_complete(const BlockRun& run);
+
+  /// Collects up to `max_blocks` dirty blocks into contiguous runs (each at
+  /// most `max_run_blocks` long; <=0 means unlimited) and marks them
+  /// Flushing; the caller issues the disk writes. With `min_age` > 0 only
+  /// blocks dirtied at or before `now - min_age` are taken — the Sprite-style
+  /// delayed-write policy of Section 2.1 (pass min_age zero to force a full
+  /// flush under space pressure).
+  [[nodiscard]] std::vector<BlockRun> collect_flush_batch(std::int64_t max_blocks,
+                                                          std::int64_t max_run_blocks = 0,
+                                                          Ticks now = Ticks::zero(),
+                                                          Ticks min_age = Ticks::zero());
+
+  /// Drops every block of `file` (close-and-delete): clean/fetched data is
+  /// discarded, dirty blocks are cancelled before ever reaching the disk —
+  /// the temporary-file savings delayed writes exist for. Blocks currently
+  /// Fetching or Flushing are left to complete. Returns the number of dirty
+  /// blocks whose writes were avoided.
+  std::int64_t invalidate_file(std::uint32_t file);
+
+  [[nodiscard]] std::int64_t dirty_block_count() const { return dirty_count_; }
+  [[nodiscard]] bool over_watermark() const;
+  [[nodiscard]] Bytes block_size() const { return params_.block_size; }
+  [[nodiscard]] std::int64_t capacity_blocks() const { return capacity_blocks_; }
+  [[nodiscard]] std::int64_t resident_blocks() const {
+    return static_cast<std::int64_t>(blocks_.size());
+  }
+  [[nodiscard]] std::int64_t owned_blocks(std::uint32_t pid) const;
+
+ private:
+  enum class State : std::uint8_t { kClean, kDirty, kFetching, kFlushing };
+
+  struct Block {
+    State state = State::kClean;
+    std::uint32_t owner = 0;
+    std::uint64_t op_id = 0;       ///< fetch op while Fetching
+    bool from_readahead = false;   ///< fetched by prefetch, not yet referenced
+    bool redirtied = false;        ///< written while Flushing
+    Ticks dirty_since;             ///< when the block was last made dirty
+    std::list<std::uint64_t>::iterator lru_pos;  ///< valid only when Clean
+  };
+
+  static std::uint64_t key_of(std::uint32_t file, std::int64_t block) {
+    return (static_cast<std::uint64_t>(file) << 32) | static_cast<std::uint64_t>(block);
+  }
+  static std::uint32_t file_of(std::uint64_t key) { return static_cast<std::uint32_t>(key >> 32); }
+  static std::int64_t block_of(std::uint64_t key) {
+    return static_cast<std::int64_t>(key & 0xffffffffull);
+  }
+
+  [[nodiscard]] std::int64_t free_blocks() const {
+    return capacity_blocks_ - static_cast<std::int64_t>(blocks_.size());
+  }
+  /// Can `need` new blocks be produced (free + evictable clean)?
+  [[nodiscard]] bool can_allocate(std::int64_t need, std::uint32_t pid) const;
+  /// Makes room for one block (evicting the LRU clean block if needed) and
+  /// inserts it. Pre-condition: can_allocate was true for the whole batch.
+  void insert_block(std::uint64_t key, State state, std::uint32_t pid, std::uint64_t op_id,
+                    bool from_readahead);
+  void evict_one(std::uint32_t prefer_owner);
+  void touch_clean(std::uint64_t key, Block& block);
+  void make_dirty(std::uint64_t key, Block& block, std::uint32_t pid);
+
+  CacheParams params_;
+  CacheMetrics* metrics_;
+  std::int64_t capacity_blocks_;
+  std::int64_t cap_blocks_per_process_;  ///< 0 = unlimited
+  std::unordered_map<std::uint64_t, Block> blocks_;
+  std::list<std::uint64_t> lru_;  ///< clean blocks, LRU at front
+  // Dirty blocks ordered by key so flush batches form contiguous runs.
+  std::set<std::uint64_t> dirty_;
+  std::int64_t dirty_count_ = 0;
+  std::unordered_map<std::uint32_t, std::int64_t> owned_;
+  // Per-file sequential detector for read-ahead.
+  struct SeqState {
+    Bytes last_end = -1;
+    Bytes last_length = 0;
+  };
+  std::unordered_map<std::uint32_t, SeqState> sequential_;
+};
+
+}  // namespace craysim::sim

@@ -1,0 +1,47 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+
+namespace craysim::sim {
+
+std::string SimResult::summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "wall %.2f s | busy %.2f s | idle %.2f s | utilization %.1f%% | overhead %.2f s\n",
+                total_wall.seconds(), cpu_busy.seconds(), cpu_idle.seconds(),
+                100.0 * cpu_utilization(), overhead_time.seconds());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "cache: reads %lld (full hits %lld, partial %lld, misses %lld) | writes %lld "
+                "(absorbed %lld) | RA issued %lld acc %.0f%% | evictions %lld | space waits %lld\n",
+                static_cast<long long>(cache.read_requests),
+                static_cast<long long>(cache.read_full_hits),
+                static_cast<long long>(cache.read_partial_hits),
+                static_cast<long long>(cache.read_misses),
+                static_cast<long long>(cache.write_requests),
+                static_cast<long long>(cache.write_absorbed),
+                static_cast<long long>(cache.readahead_issued), 100.0 * cache.readahead_accuracy(),
+                static_cast<long long>(cache.evictions),
+                static_cast<long long>(cache.space_waits));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "disk: %lld reads / %lld writes, %s read / %s written, busy %.2f s, queue wait "
+                "%.2f s\n",
+                static_cast<long long>(disk.read_ops), static_cast<long long>(disk.write_ops),
+                format_bytes(disk.bytes_read).c_str(), format_bytes(disk.bytes_written).c_str(),
+                disk.busy_time.seconds(), disk.queue_wait_time.seconds());
+  out += buf;
+  for (const auto& p : processes) {
+    std::snprintf(buf, sizeof buf,
+                  "  proc %u %-10s finished %.2f s (cpu %.2f s, blocked %.2f s, %lld I/Os, %s R, "
+                  "%s W)\n",
+                  p.pid, p.name.c_str(), p.finish_time.seconds(), p.cpu_time.seconds(),
+                  p.blocked_time.seconds(), static_cast<long long>(p.io_count),
+                  format_bytes(p.bytes_read).c_str(), format_bytes(p.bytes_written).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace craysim::sim

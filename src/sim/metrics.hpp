@@ -1,0 +1,92 @@
+// Simulation results: CPU utilization, cache behaviour, device traffic, and
+// the time series behind Figures 6-8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/stream.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace craysim::sim {
+
+struct ProcessResult {
+  std::uint32_t pid = 0;
+  std::string name;
+  Ticks finish_time;    ///< wall-clock completion
+  Ticks cpu_time;       ///< pure application compute executed
+  Ticks blocked_time;   ///< wall time spent waiting for I/O or cache space
+  std::int64_t io_count = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+};
+
+struct CacheMetrics {
+  std::int64_t read_requests = 0;
+  std::int64_t read_full_hits = 0;     ///< served without touching the disk
+  std::int64_t read_partial_hits = 0;  ///< some blocks cached, some fetched
+  std::int64_t read_misses = 0;
+  std::int64_t write_requests = 0;
+  std::int64_t write_absorbed = 0;     ///< returned before reaching disk (write-behind)
+  std::int64_t readahead_issued = 0;   ///< prefetch operations started
+  std::int64_t readahead_used_blocks = 0;
+  std::int64_t readahead_fetched_blocks = 0;
+  std::int64_t evictions = 0;
+  std::int64_t space_waits = 0;        ///< times a process stalled for cache space
+  std::int64_t writes_cancelled_blocks = 0;  ///< dirty blocks dropped by file deletion
+
+  [[nodiscard]] double read_hit_fraction() const {
+    const auto total = read_requests;
+    return total > 0 ? static_cast<double>(read_full_hits) / static_cast<double>(total) : 0.0;
+  }
+  [[nodiscard]] double readahead_accuracy() const {
+    return readahead_fetched_blocks > 0
+               ? static_cast<double>(readahead_used_blocks) /
+                     static_cast<double>(readahead_fetched_blocks)
+               : 0.0;
+  }
+};
+
+struct DeviceMetrics {
+  std::int64_t read_ops = 0;
+  std::int64_t write_ops = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  Ticks busy_time;        ///< summed service time
+  Ticks queue_wait_time;  ///< waiting behind earlier requests (queueing mode)
+};
+
+struct SimResult {
+  Ticks total_wall;        ///< when the last process finished
+  Ticks cpu_busy;          ///< application compute + OS overheads + hit stalls
+  Ticks cpu_idle;          ///< no runnable process while work remained
+  Ticks overhead_time;     ///< portion of cpu_busy that was OS overhead
+  CacheMetrics cache;
+  DeviceMetrics disk;
+  std::vector<ProcessResult> processes;
+  /// Bytes the applications requested, binned by wall-clock time.
+  BinnedSeries logical_rate{Ticks::from_seconds(1)};
+  /// Bytes moving between cache and disk, binned by wall-clock time
+  /// (the series Figures 6 and 7 plot), plus per-direction splits.
+  BinnedSeries disk_rate{Ticks::from_seconds(1)};
+  BinnedSeries disk_read_rate{Ticks::from_seconds(1)};
+  BinnedSeries disk_write_rate{Ticks::from_seconds(1)};
+  /// Logical requests with cache-hit / readahead-hit annotations (appendix:
+  /// "for data analysis purposes only"); filled when SimParams::record_trace.
+  trace::Trace annotated_trace;
+
+  [[nodiscard]] double cpu_utilization() const {
+    const Ticks denom = cpu_busy + cpu_idle;
+    return denom > Ticks::zero()
+               ? static_cast<double>(cpu_busy.count()) / static_cast<double>(denom.count())
+               : 0.0;
+  }
+  /// Figure 8's y axis: wall time minus useful time.
+  [[nodiscard]] Ticks idle_time() const { return cpu_idle; }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace craysim::sim

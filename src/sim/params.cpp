@@ -1,0 +1,30 @@
+#include "sim/params.hpp"
+
+namespace craysim::sim {
+
+SimParams SimParams::paper_main_memory(Bytes cache_capacity) {
+  SimParams p;
+  p.cache.capacity = cache_capacity;
+  // Main-memory cache: hits cost a setup plus a fast SRAM copy.
+  p.cache.hit_setup = Ticks::from_us(5);
+  p.cache.hit_us_per_kb = 0.25;
+  return p;
+}
+
+SimParams SimParams::paper_ssd(Bytes ssd_capacity) {
+  SimParams p;
+  p.cache.capacity = ssd_capacity;
+  // "approximately 1 us per kilobyte transferred (at 1 GB/sec), with some
+  // additional overhead to set up the transfer" (Section 6.3).
+  p.cache.hit_setup = Ticks::from_us(10);
+  p.cache.hit_us_per_kb = 1.0;
+  return p;
+}
+
+SimParams SimParams::no_cache() {
+  SimParams p;
+  p.use_cache = false;
+  return p;
+}
+
+}  // namespace craysim::sim

@@ -1,0 +1,29 @@
+#include "sim/process.hpp"
+
+#include "trace/record.hpp"
+
+namespace craysim::sim {
+
+TraceReplaySource::TraceReplaySource(trace::Trace trace, std::uint32_t process_id)
+    : trace_(std::move(trace)), process_id_(process_id) {}
+
+std::optional<workload::Request> TraceReplaySource::next() {
+  while (pos_ < trace_.size()) {
+    const trace::TraceRecord& r = trace_[pos_++];
+    if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
+      continue;
+    }
+    if (process_id_ != 0 && r.process_id != process_id_) continue;
+    workload::Request req;
+    req.compute = r.process_time;
+    req.file = r.file_id;
+    req.offset = r.offset;
+    req.length = r.length;
+    req.write = r.is_write();
+    req.async = r.is_async();
+    return req;
+  }
+  return std::nullopt;
+}
+
+}  // namespace craysim::sim

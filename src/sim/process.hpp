@@ -1,0 +1,31 @@
+// Request sources for simulated processes: trace replay and (via
+// workload::AppRequestGenerator) online synthetic generation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/stream.hpp"
+#include "workload/request.hpp"
+
+namespace craysim::sim {
+
+/// Replays the application-behaviour half of a logical trace: compute gaps
+/// come from processTime, requests from (file, offset, length, flags).
+/// Machine response times recorded in the trace are ignored — the simulator
+/// recomputes them under its own configuration.
+class TraceReplaySource final : public workload::RequestSource {
+ public:
+  /// Replays records of `process_id` from `trace` (pass 0 to accept every
+  /// record, for single-process traces).
+  TraceReplaySource(trace::Trace trace, std::uint32_t process_id = 0);
+
+  std::optional<workload::Request> next() override;
+
+ private:
+  trace::Trace trace_;
+  std::uint32_t process_id_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace craysim::sim

@@ -1,0 +1,502 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace craysim::sim {
+
+Simulator::Simulator(SimParams params) : params_(std::move(params)) {
+  if (params_.cpu_count < 1) throw ConfigError("cpu_count must be >= 1");
+  cpus_.resize(static_cast<std::size_t>(params_.cpu_count));
+  disk_ = std::make_unique<DiskModel>(params_.disk, params_.position, params_.disk_count,
+                                      params_.disk_queueing, params_.seed ^ 0xd15c);
+  if (params_.use_cache) {
+    cache_ = std::make_unique<BufferCache>(params_.cache, result_.cache);
+  }
+  result_.logical_rate = BinnedSeries(params_.series_bin);
+  result_.disk_rate = BinnedSeries(params_.series_bin);
+  result_.disk_read_rate = BinnedSeries(params_.series_bin);
+  result_.disk_write_rate = BinnedSeries(params_.series_bin);
+}
+
+std::uint32_t Simulator::add_process(std::string name,
+                                     std::unique_ptr<workload::RequestSource> source) {
+  Proc proc;
+  proc.pid = static_cast<std::uint32_t>(procs_.size()) + 1;
+  proc.name = std::move(name);
+  proc.source = std::move(source);
+  procs_.push_back(std::move(proc));
+  return procs_.back().pid;
+}
+
+std::uint32_t Simulator::add_app(const workload::AppProfile& profile) {
+  workload::AppProfile copy = profile;
+  copy.seed = profile.seed + 0x9e37 * (procs_.size() + 1);
+  std::string name = copy.name;  // read before the move below
+  return add_process(std::move(name),
+                     std::make_unique<workload::AppRequestGenerator>(std::move(copy)));
+}
+
+Ticks Simulator::hit_delay(Bytes bytes) const {
+  return params_.cache.hit_setup +
+         Ticks::from_us(params_.cache.hit_us_per_kb * static_cast<double>(bytes) / 1024.0);
+}
+
+void Simulator::push_event(Ticks time, EventKind kind, std::uint64_t arg) {
+  events_.push(Event{time, next_seq_++, kind, arg});
+}
+
+SimResult Simulator::run() {
+  if (procs_.empty()) throw ConfigError("simulation has no processes");
+  now_ = Ticks::zero();
+  for (Cpu& cpu : cpus_) {
+    cpu.running = kNoProcess;
+    cpu.idle = true;
+    cpu.idle_since = Ticks::zero();
+  }
+  for (Proc& proc : procs_) {
+    advance_to_next_request(proc);
+    proc.state = PState::kReady;
+    ready_.push_back(proc.pid);
+  }
+  push_event(Ticks::zero(), EventKind::kDispatch, 0);
+  push_event(params_.cache.flush_period, EventKind::kFlushTick, 0);
+
+  // Safety valve against configuration bugs: no workload in this study runs
+  // longer than a few simulated hours.
+  const Ticks wall_limit = Ticks::from_seconds(1e6);
+
+  // Run until every process has finished AND the cache has drained its
+  // dirty data (write-behind means data can outlive its writer).
+  auto drained = [this] {
+    return finished_ >= procs_.size() && inflight_.empty() &&
+           (!cache_ || cache_->dirty_block_count() == 0);
+  };
+  while (!events_.empty() && !drained()) {
+    const Event event = events_.top();
+    events_.pop();
+    assert(event.time >= now_);
+    now_ = event.time;
+    if (now_ > wall_limit) throw Error("simulation exceeded wall-clock safety limit");
+    switch (event.kind) {
+      case EventKind::kDispatch:
+        on_dispatch(now_);
+        break;
+      case EventKind::kSliceEnd:
+        on_slice_end(now_, static_cast<std::uint32_t>(event.arg));
+        break;
+      case EventKind::kIoDone:
+        on_io_done(now_, event.arg);
+        break;
+      case EventKind::kFlushTick:
+        on_flush_tick(now_);
+        break;
+    }
+  }
+  if (finished_ < procs_.size()) throw Error("simulation stalled: event queue drained early");
+
+  for (const Proc& proc : procs_) {
+    ProcessResult pr;
+    pr.pid = proc.pid;
+    pr.name = proc.name;
+    pr.finish_time = proc.finish_time;
+    pr.cpu_time = proc.cpu_done;
+    pr.blocked_time = proc.blocked_total;
+    pr.io_count = proc.io_count;
+    pr.bytes_read = proc.bytes_read;
+    pr.bytes_written = proc.bytes_written;
+    result_.processes.push_back(pr);
+    result_.total_wall = std::max(result_.total_wall, proc.finish_time);
+  }
+  // CPUs that went idle before the last process finished stay idle to the
+  // end of the run; close their idle intervals at total_wall.
+  for (Cpu& cpu : cpus_) {
+    if (cpu.idle && cpu.idle_since < result_.total_wall) {
+      result_.cpu_idle += result_.total_wall - cpu.idle_since;
+    }
+  }
+  result_.disk = disk_->metrics();
+  return std::move(result_);
+}
+
+void Simulator::advance_to_next_request(Proc& proc) {
+  proc.pending = proc.source->next();
+  proc.remaining_compute = proc.pending ? proc.pending->compute : proc.source->final_compute();
+}
+
+void Simulator::account_idle_until(Ticks now, std::int32_t cpu) {
+  Cpu& state = cpus_[static_cast<std::size_t>(cpu)];
+  if (state.idle) {
+    result_.cpu_idle += now - state.idle_since;
+    state.idle = false;
+  }
+}
+
+void Simulator::release_cpu(Ticks now, Proc& proc) {
+  if (proc.cpu < 0) return;
+  Cpu& state = cpus_[static_cast<std::size_t>(proc.cpu)];
+  assert(state.running == proc.pid);
+  state.running = kNoProcess;
+  state.idle = true;
+  state.idle_since = now;
+  proc.cpu = -1;
+}
+
+void Simulator::on_dispatch(Ticks now) {
+  // Fill every free CPU with a ready process.
+  while (!ready_.empty()) {
+    std::int32_t free_cpu = -1;
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+      if (cpus_[i].running == kNoProcess) {
+        free_cpu = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    if (free_cpu < 0) return;
+    const std::uint32_t pid = ready_.front();
+    ready_.pop_front();
+    Proc& proc = procs_[pid - 1];
+    assert(proc.state == PState::kReady);
+    account_idle_until(now, free_cpu);
+    cpus_[static_cast<std::size_t>(free_cpu)].running = pid;
+    proc.cpu = free_cpu;
+    proc.state = PState::kRunning;
+    result_.cpu_busy += params_.scheduler.context_switch;
+    result_.overhead_time += params_.scheduler.context_switch;
+    proc.slice_len = std::min(params_.scheduler.quantum, proc.remaining_compute);
+    push_event(now + params_.scheduler.context_switch + proc.slice_len, EventKind::kSliceEnd,
+               pid);
+  }
+}
+
+void Simulator::on_slice_end(Ticks now, std::uint32_t pid) {
+  Proc& proc = procs_[pid - 1];
+  assert(proc.state == PState::kRunning && proc.cpu >= 0 &&
+         cpus_[static_cast<std::size_t>(proc.cpu)].running == pid);
+  result_.cpu_busy += proc.slice_len;
+  proc.cpu_done += proc.slice_len;
+  proc.remaining_compute -= proc.slice_len;
+
+  if (proc.remaining_compute > Ticks::zero()) {
+    // Quantum expired mid-compute.
+    if (ready_.empty()) {
+      proc.slice_len = std::min(params_.scheduler.quantum, proc.remaining_compute);
+      push_event(now + proc.slice_len, EventKind::kSliceEnd, pid);
+    } else {
+      proc.state = PState::kReady;
+      ready_.push_back(pid);
+      release_cpu(now, proc);
+      push_event(now, EventKind::kDispatch, 0);
+    }
+    return;
+  }
+
+  if (!proc.pending) {
+    finish_process(now, proc);
+    return;
+  }
+  issue_io(now, pid);
+}
+
+void Simulator::finish_process(Ticks now, Proc& proc) {
+  proc.state = PState::kFinished;
+  proc.finish_time = now;
+  ++finished_;
+  release_cpu(now, proc);
+  push_event(now, EventKind::kDispatch, 0);
+}
+
+void Simulator::continue_running(Ticks now, std::uint32_t pid, Ticks extra_stall) {
+  Proc& proc = procs_[pid - 1];
+  assert(proc.state == PState::kRunning);
+  result_.cpu_busy += extra_stall;  // CPU held while the cache copy completes
+  advance_to_next_request(proc);
+  proc.slice_len = std::min(params_.scheduler.quantum, proc.remaining_compute);
+  push_event(now + extra_stall + proc.slice_len, EventKind::kSliceEnd, pid);
+}
+
+void Simulator::block_for_io(Ticks now, Proc& proc, std::int32_t waits) {
+  proc.state = PState::kBlockedIo;
+  proc.wait_count = waits;
+  proc.blocked_since = now;
+  release_cpu(now, proc);
+  push_event(now, EventKind::kDispatch, 0);
+}
+
+void Simulator::block_for_space(Ticks now, Proc& proc) {
+  proc.state = PState::kBlockedSpace;
+  proc.blocked_since = now;
+  ++result_.cache.space_waits;
+  space_waiters_.push_back(proc.pid);
+  release_cpu(now, proc);
+  push_event(now, EventKind::kDispatch, 0);
+  trigger_flush(now);
+}
+
+void Simulator::unblock(Ticks now, std::uint32_t pid, Ticks extra_delay) {
+  Proc& proc = procs_[pid - 1];
+  proc.blocked_total += now - proc.blocked_since;
+  advance_to_next_request(proc);
+  proc.state = PState::kReady;
+  ready_.push_back(pid);
+  push_event(now + extra_delay, EventKind::kDispatch, 0);
+}
+
+void Simulator::record_request(Ticks now, std::uint32_t pid, const workload::Request& req,
+                               bool cache_miss, bool readahead_hit) {
+  if (!params_.record_trace) return;
+  trace::TraceRecord r;
+  // The RA-hit annotation is only meaningful on a hit (validate() enforces
+  // the appendix's rule that a miss cannot also be a readahead hit).
+  r.record_type = trace::make_record_type(/*logical=*/true, req.write, req.async,
+                                          trace::DataClass::kFileData, cache_miss,
+                                          readahead_hit && !cache_miss);
+  r.offset = req.offset;
+  r.length = req.length;
+  r.start_time = now;
+  r.completion_time = Ticks::zero();  // annotations, not timings
+  r.operation_id = next_trace_op_++;
+  r.file_id = req.file;
+  r.process_id = pid;
+  r.process_time = req.compute;
+  result_.annotated_trace.push_back(r);
+}
+
+void Simulator::record_disk_traffic(Ticks start, Ticks done, Bytes bytes, bool write) {
+  const auto amount = static_cast<double>(bytes);
+  result_.disk_rate.add_spread(start, done - start, amount);
+  (write ? result_.disk_write_rate : result_.disk_read_rate)
+      .add_spread(start, done - start, amount);
+}
+
+void Simulator::submit_run_with_id(std::uint64_t id, Ticks now, const BlockRun& run, bool write,
+                                   IoOp::Kind kind, std::uint32_t sync_waiter) {
+  const Bytes bs = cache_->block_size();
+  const Ticks done = disk_->submit(now, run.file, run.first_block * bs, run.bytes(bs), write);
+  record_disk_traffic(now, done, run.bytes(bs), write);
+  IoOp op;
+  op.kind = kind;
+  op.run = run;
+  op.notify_cache = true;
+  if (sync_waiter != kNoProcess) op.waiters.push_back(sync_waiter);
+  inflight_.emplace(id, std::move(op));
+  push_event(done, EventKind::kIoDone, id);
+}
+
+std::uint64_t Simulator::submit_run(Ticks now, const BlockRun& run, bool write,
+                                    IoOp::Kind kind) {
+  const std::uint64_t id = next_op_++;
+  submit_run_with_id(id, now, run, write, kind, kNoProcess);
+  return id;
+}
+
+std::uint64_t Simulator::submit_bypass(Ticks now, std::uint32_t gfile, Bytes offset, Bytes length,
+                                       bool write) {
+  const std::uint64_t id = next_op_++;
+  const Ticks done = disk_->submit(now, gfile, offset, length, write);
+  record_disk_traffic(now, done, length, write);
+  IoOp op;
+  op.kind = IoOp::Kind::kBypass;
+  op.notify_cache = false;
+  inflight_.emplace(id, std::move(op));
+  push_event(done, EventKind::kIoDone, id);
+  return id;
+}
+
+void Simulator::issue_io(Ticks now, std::uint32_t pid) {
+  Proc& proc = procs_[pid - 1];
+  const workload::Request req = *proc.pending;
+  result_.cpu_busy += params_.overhead.fs_call;
+  result_.overhead_time += params_.overhead.fs_call;
+  const Ticks t = now + params_.overhead.fs_call;
+
+  // Deferred until we know the request is really proceeding: a space-wait
+  // retry re-enters this function and must not double-count.
+  auto account = [&] {
+    result_.logical_rate.add(t, static_cast<double>(req.length));
+    ++proc.io_count;
+    if (req.write) {
+      proc.bytes_written += req.length;
+    } else {
+      proc.bytes_read += req.length;
+    }
+  };
+  const std::uint32_t gfile = global_file(pid, req.file);
+
+  // --- No cache configured: straight to disk. -----------------------------
+  if (!cache_) {
+    account();
+    record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
+    const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, req.write);
+    if (req.async) {
+      continue_running(t, pid, Ticks::zero());
+    } else {
+      inflight_.at(id).waiters.push_back(pid);
+      block_for_io(t, proc, 1);
+    }
+    return;
+  }
+
+  if (!req.write) {
+    // --- Read --------------------------------------------------------------
+    const std::uint64_t first_op = next_op_;
+    auto plan = cache_->plan_read(pid, gfile, req.offset, req.length, first_op);
+    if (plan.space_wait) {
+      block_for_space(t, proc);
+      return;
+    }
+    account();
+    if (plan.bypass) {
+      record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
+      const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, false);
+      if (req.async) {
+        continue_running(t, pid, Ticks::zero());
+      } else {
+        inflight_.at(id).waiters.push_back(pid);
+        block_for_io(t, proc, 1);
+      }
+      return;
+    }
+    record_request(t, pid, req, /*cache_miss=*/!plan.full_hit, plan.readahead_hit);
+    next_op_ += plan.fetch_runs.size();
+    std::int32_t waits = 0;
+    for (std::size_t i = 0; i < plan.fetch_runs.size(); ++i) {
+      // Submit under the id the cache tagged the run's blocks with.
+      submit_run_with_id(first_op + i, t, plan.fetch_runs[i], /*write=*/false,
+                         IoOp::Kind::kFetch, req.async ? kNoProcess : pid);
+      if (!req.async) ++waits;
+    }
+    if (!req.async) {
+      for (const std::uint64_t join_id : plan.join_ops) {
+        const auto it = inflight_.find(join_id);
+        if (it == inflight_.end()) continue;  // completed this very tick
+        it->second.waiters.push_back(pid);
+        ++waits;
+      }
+    }
+    if (plan.readahead) {
+      const std::uint64_t ra_id = next_op_;
+      if (auto run = cache_->try_issue_readahead(pid, *plan.readahead, ra_id)) {
+        ++next_op_;
+        submit_run_with_id(ra_id, t, *run, /*write=*/false, IoOp::Kind::kReadAhead, kNoProcess);
+      }
+    }
+    if (waits == 0) {
+      continue_running(t, pid, plan.full_hit ? hit_delay(req.length) : Ticks::zero());
+    } else {
+      block_for_io(t, proc, waits);
+    }
+    return;
+  }
+
+  // --- Write ---------------------------------------------------------------
+  auto plan = cache_->plan_write(pid, gfile, req.offset, req.length, next_op_,
+                                 params_.cache.write_behind, t);
+  if (plan.space_wait) {
+    block_for_space(t, proc);
+    return;
+  }
+  account();
+  if (plan.bypass) {
+    record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
+    const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, true);
+    if (req.async) {
+      continue_running(t, pid, Ticks::zero());
+    } else {
+      inflight_.at(id).waiters.push_back(pid);
+      block_for_io(t, proc, 1);
+    }
+    return;
+  }
+  if (plan.absorbed) {
+    record_request(t, pid, req, /*cache_miss=*/false, /*readahead_hit=*/false);
+    continue_running(t, pid, hit_delay(req.length));
+    if (cache_->over_watermark()) trigger_flush(t);
+    return;
+  }
+  // Write-through.
+  record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
+  std::int32_t waits = 0;
+  for (const BlockRun& run : plan.writethrough_runs) {
+    const std::uint64_t id = submit_run(t, run, /*write=*/true, IoOp::Kind::kWriteThrough);
+    if (!req.async) {
+      inflight_.at(id).waiters.push_back(pid);
+      ++waits;
+    }
+  }
+  if (waits == 0) {
+    continue_running(t, pid, Ticks::zero());
+  } else {
+    block_for_io(t, proc, waits);
+  }
+}
+
+void Simulator::on_io_done(Ticks now, std::uint64_t op_id) {
+  const auto it = inflight_.find(op_id);
+  if (it == inflight_.end()) return;
+  IoOp op = std::move(it->second);
+  inflight_.erase(it);
+
+  if (cache_ && op.notify_cache) {
+    switch (op.kind) {
+      case IoOp::Kind::kFetch:
+      case IoOp::Kind::kReadAhead:
+        cache_->fetch_complete(op.run);
+        break;
+      case IoOp::Kind::kFlush:
+      case IoOp::Kind::kWriteThrough:
+        cache_->flush_complete(op.run);
+        break;
+      case IoOp::Kind::kBypass:
+        break;
+    }
+  }
+  for (const std::uint32_t pid : op.waiters) {
+    Proc& proc = procs_[pid - 1];
+    if (proc.state != PState::kBlockedIo) continue;
+    if (--proc.wait_count == 0) {
+      result_.overhead_time += params_.overhead.interrupt;
+      unblock(now, pid, params_.overhead.interrupt);
+    }
+  }
+  wake_space_waiters(now);
+}
+
+void Simulator::wake_space_waiters(Ticks now) {
+  if (space_waiters_.empty()) return;
+  for (const std::uint32_t pid : space_waiters_) {
+    Proc& proc = procs_[pid - 1];
+    if (proc.state != PState::kBlockedSpace) continue;
+    proc.blocked_total += now - proc.blocked_since;
+    proc.state = PState::kReady;
+    ready_.push_back(pid);
+  }
+  space_waiters_.clear();
+  push_event(now, EventKind::kDispatch, 0);
+}
+
+void Simulator::trigger_flush(Ticks now, Ticks min_age) {
+  if (!cache_) return;
+  const auto runs = cache_->collect_flush_batch(params_.cache.max_flush_batch_blocks,
+                                                params_.cache.max_flush_run_blocks, now, min_age);
+  for (const BlockRun& run : runs) {
+    submit_run(now, run, /*write=*/true, IoOp::Kind::kFlush);
+  }
+}
+
+void Simulator::on_flush_tick(Ticks now) {
+  // Periodic flushes honor the delayed-write age; once all processes have
+  // finished, drain everything regardless of age.
+  const Ticks age = finished_ >= procs_.size() ? Ticks::zero() : params_.cache.delayed_write_age;
+  if (cache_ && cache_->dirty_block_count() > 0) trigger_flush(now, age);
+  // Keep ticking while the workload runs; afterwards, only until the
+  // remaining dirty data has drained to disk.
+  const bool drained = finished_ >= procs_.size() &&
+                       (!cache_ || cache_->dirty_block_count() == 0) && inflight_.empty();
+  if (!drained) push_event(now + params_.cache.flush_period, EventKind::kFlushTick, 0);
+}
+
+}  // namespace craysim::sim

@@ -1,0 +1,79 @@
+#include "sim/storage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace craysim::sim {
+
+DiskModel::DiskModel(const DiskParams& params, const PositionParams& position,
+                     std::int32_t disk_count, bool queueing, std::uint64_t seed)
+    : params_(params), position_(position), queueing_(queueing), rng_(seed) {
+  if (disk_count < 1) throw ConfigError("disk_count must be >= 1");
+  if (params_.bandwidth_mb_s <= 0) throw ConfigError("disk bandwidth must be positive");
+  disks_.resize(static_cast<std::size_t>(disk_count));
+}
+
+Ticks DiskModel::transfer_time(Bytes length) const {
+  const double bytes_per_tick = params_.bandwidth_mb_s * 1e6 / 100'000.0;
+  return Ticks(static_cast<std::int64_t>(static_cast<double>(length) / bytes_per_tick));
+}
+
+Ticks DiskModel::access_time_for_distance(Bytes distance, Bytes length) const {
+  Ticks access = params_.controller_overhead + transfer_time(length);
+  if (distance != 0) {
+    const double norm = std::min(
+        1.0, static_cast<double>(std::abs(distance)) / static_cast<double>(position_.span));
+    const double seek_range =
+        static_cast<double>((params_.max_seek - params_.min_seek).count());
+    access += params_.min_seek + Ticks(static_cast<std::int64_t>(seek_range * std::sqrt(norm)));
+    // Deterministic expectation (half a revolution) for the query API.
+    access += params_.max_rotation / 2;
+  }
+  return access;
+}
+
+std::int64_t DiskModel::position_of(std::uint32_t file, Bytes offset) {
+  auto [it, inserted] = file_base_.try_emplace(file, next_base_);
+  if (inserted) next_base_ += position_.file_spacing;
+  return it->second + offset;
+}
+
+Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length, bool write) {
+  const std::int64_t pos = position_of(file, offset);
+  DiskState& disk = disks_[file % disks_.size()];
+
+  Ticks access = params_.controller_overhead + transfer_time(length);
+  const bool sequential = disk.head_valid && pos == disk.head;
+  if (!sequential) {
+    const std::int64_t distance = disk.head_valid ? std::abs(pos - disk.head)
+                                                  : position_.span / 2;
+    const double norm =
+        std::min(1.0, static_cast<double>(distance) / static_cast<double>(position_.span));
+    const double seek_range =
+        static_cast<double>((params_.max_seek - params_.min_seek).count());
+    access += params_.min_seek + Ticks(static_cast<std::int64_t>(seek_range * std::sqrt(norm)));
+    access += Ticks(rng_.uniform_int(0, params_.max_rotation.count()));
+  }
+  disk.head = pos + length;
+  disk.head_valid = true;
+
+  Ticks start = now;
+  if (queueing_) {
+    start = std::max(now, disk.free_at);
+    metrics_.queue_wait_time += start - now;
+    disk.free_at = start + access;
+  }
+  metrics_.busy_time += access;
+  if (write) {
+    ++metrics_.write_ops;
+    metrics_.bytes_written += length;
+  } else {
+    ++metrics_.read_ops;
+    metrics_.bytes_read += length;
+  }
+  return start + access;
+}
+
+}  // namespace craysim::sim

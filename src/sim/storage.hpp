@@ -1,0 +1,59 @@
+// The Section 6.1 disk model.
+//
+// Logical traces carry no physical block numbers, so the paper approximates
+// seek distance from logical positions: each file gets a virtual base
+// address, and the completion time of an I/O depends only on the transfer
+// size and how far the request is from the disk head's previous position.
+// In paper mode there is no queueing — concurrent requests do not delay each
+// other (the limitation Section 6.2 discusses). Queueing mode (our ablation)
+// serializes each disk through a FIFO.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/params.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace craysim::sim {
+
+class DiskModel {
+ public:
+  DiskModel(const DiskParams& params, const PositionParams& position, std::int32_t disk_count,
+            bool queueing, std::uint64_t seed);
+
+  /// Computes the completion time of a transfer submitted at `now`.
+  /// Updates head position, per-disk queue (in queueing mode), and metrics.
+  [[nodiscard]] Ticks submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length,
+                             bool write);
+
+  [[nodiscard]] const DeviceMetrics& metrics() const { return metrics_; }
+
+  /// Pure access-time query (no state change): used by tests to check the
+  /// seek curve's monotonicity.
+  [[nodiscard]] Ticks access_time_for_distance(Bytes distance, Bytes length) const;
+
+ private:
+  struct DiskState {
+    Ticks free_at;     ///< queueing mode: when the disk finishes its backlog
+    std::int64_t head = 0;  ///< virtual position after the previous I/O
+    bool head_valid = false;
+  };
+
+  std::int64_t position_of(std::uint32_t file, Bytes offset);
+  Ticks transfer_time(Bytes length) const;
+
+  DiskParams params_;
+  PositionParams position_;
+  bool queueing_;
+  std::vector<DiskState> disks_;
+  std::unordered_map<std::uint32_t, std::int64_t> file_base_;
+  std::int64_t next_base_ = 0;
+  Rng rng_;
+  DeviceMetrics metrics_;
+};
+
+}  // namespace craysim::sim

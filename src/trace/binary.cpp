@@ -1,0 +1,312 @@
+#include "trace/binary.hpp"
+
+#include <unordered_map>
+
+#include "trace/codec.hpp"
+#include "util/error.hpp"
+
+namespace craysim::trace {
+namespace {
+
+// The fixed-width format stores every present integer at its natural C
+// width, as `struct traceRecord` would have been dumped on the Cray (minus
+// absent fields). Values that do not fit are a hard error — one of the
+// practical reasons the study chose variable-length text.
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint64_t v, const char* field) {
+  if (v > 0xffffffffull) {
+    throw TraceFormatError(std::string("binary format overflow in field ") + field);
+  }
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint16_t u16() {
+    require(2);
+    const auto v = static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) |
+                                              (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) {
+    if (pos_ + n > data_.size()) throw TraceFormatError("binary trace truncated");
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+struct FileState {
+  Bytes next_sequential_offset = 0;
+  Bytes last_length = -1;
+  std::uint32_t last_operation_id = 0;
+  bool has_operation = false;
+};
+
+std::uint64_t file_key(std::uint32_t pid, std::uint32_t file_id) {
+  return (static_cast<std::uint64_t>(pid) << 32) | file_id;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_binary(const Trace& trace) {
+  std::vector<std::byte> out;
+  out.reserve(trace.size() * 24);
+  bool has_previous = false;
+  Ticks previous_start;
+  std::uint32_t last_pid = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> last_file_by_process;
+  std::unordered_map<std::uint64_t, FileState> file_states;
+
+  for (const TraceRecord& record : trace) {
+    validate(record);
+    if (record.is_comment()) continue;  // binary dumps carried no comments
+    if (has_previous && record.start_time < previous_start) {
+      throw TraceFormatError("records must be encoded in start-time order");
+    }
+    const std::uint64_t key = file_key(record.process_id, record.file_id);
+    std::uint16_t compression = 0;
+
+    const bool omit_pid = has_previous && record.process_id == last_pid;
+    if (omit_pid) compression |= kNoProcessId;
+    const auto file_it = last_file_by_process.find(record.process_id);
+    const bool omit_file =
+        file_it != last_file_by_process.end() && file_it->second == record.file_id;
+    if (omit_file) compression |= kNoFileId;
+    const auto state_it = file_states.find(key);
+    const FileState* state = state_it != file_states.end() ? &state_it->second : nullptr;
+    const bool omit_op = state != nullptr && state->has_operation &&
+                         state->last_operation_id == record.operation_id;
+    if (omit_op) compression |= kNoOperationId;
+    const bool omit_offset = state != nullptr && record.offset == state->next_sequential_offset;
+    if (omit_offset) compression |= kNoOffset;
+    const bool omit_length = state != nullptr && record.length == state->last_length;
+    if (omit_length) compression |= kNoLength;
+
+    Bytes offset_value = record.offset;
+    if (!omit_offset && offset_value != 0 && offset_value % kTraceBlockSize == 0) {
+      compression |= kOffsetInBlocks;
+      offset_value /= kTraceBlockSize;
+    }
+    Bytes length_value = record.length;
+    if (!omit_length && length_value != 0 && length_value % kTraceBlockSize == 0) {
+      compression |= kLengthInBlocks;
+      length_value /= kTraceBlockSize;
+    }
+    const Ticks start_delta =
+        has_previous ? record.start_time - previous_start : record.start_time;
+
+    put_u16(out, record.record_type);
+    put_u16(out, compression);
+    if (!omit_offset) put_u32(out, static_cast<std::uint64_t>(offset_value), "offset");
+    if (!omit_length) put_u32(out, static_cast<std::uint64_t>(length_value), "length");
+    put_u32(out, static_cast<std::uint64_t>(start_delta.count()), "startTime");
+    put_u32(out, static_cast<std::uint64_t>(record.completion_time.count()), "completionTime");
+    if (!omit_op) put_u32(out, record.operation_id, "operationId");
+    if (!omit_file) put_u32(out, record.file_id, "fileId");
+    if (!omit_pid) put_u32(out, record.process_id, "processId");
+    put_u32(out, static_cast<std::uint64_t>(record.process_time.count()), "processTime");
+
+    has_previous = true;
+    previous_start = record.start_time;
+    last_pid = record.process_id;
+    last_file_by_process[record.process_id] = record.file_id;
+    FileState& fs = file_states[key];
+    fs.next_sequential_offset = record.end();
+    fs.last_length = record.length;
+    fs.last_operation_id = record.operation_id;
+    fs.has_operation = true;
+  }
+  return out;
+}
+
+Trace decode_binary(std::span<const std::byte> data) {
+  Trace trace;
+  Cursor cursor(data);
+  bool has_previous = false;
+  Ticks previous_start;
+  std::uint32_t last_pid = 0;
+  bool has_last_pid = false;
+  std::unordered_map<std::uint32_t, std::uint32_t> last_file_by_process;
+  std::unordered_map<std::uint64_t, FileState> file_states;
+
+  while (!cursor.done()) {
+    TraceRecord record;
+    record.record_type = cursor.u16();
+    const std::uint16_t c = cursor.u16();
+    record.compression = c;
+
+    std::optional<Bytes> offset_field;
+    if (!(c & kNoOffset)) {
+      Bytes v = cursor.u32();
+      if (c & kOffsetInBlocks) v *= kTraceBlockSize;
+      offset_field = v;
+    }
+    std::optional<Bytes> length_field;
+    if (!(c & kNoLength)) {
+      Bytes v = cursor.u32();
+      if (c & kLengthInBlocks) v *= kTraceBlockSize;
+      length_field = v;
+    }
+    const Ticks start_delta = Ticks(cursor.u32());
+    record.completion_time = Ticks(cursor.u32());
+    std::optional<std::uint32_t> op_field;
+    if (!(c & kNoOperationId)) op_field = cursor.u32();
+    std::optional<std::uint32_t> file_field;
+    if (!(c & kNoFileId)) file_field = cursor.u32();
+    std::optional<std::uint32_t> pid_field;
+    if (!(c & kNoProcessId)) pid_field = cursor.u32();
+    record.process_time = Ticks(cursor.u32());
+
+    if (pid_field) {
+      record.process_id = *pid_field;
+    } else if (has_last_pid) {
+      record.process_id = last_pid;
+    } else {
+      throw TraceFormatError("binary: TRACE_NO_PROCESSID on first record");
+    }
+    if (file_field) {
+      record.file_id = *file_field;
+    } else {
+      const auto it = last_file_by_process.find(record.process_id);
+      if (it == last_file_by_process.end()) {
+        throw TraceFormatError("binary: TRACE_NO_FILEID with no prior record for process");
+      }
+      record.file_id = it->second;
+    }
+    const std::uint64_t key = file_key(record.process_id, record.file_id);
+    const auto state_it = file_states.find(key);
+    FileState* state = state_it != file_states.end() ? &state_it->second : nullptr;
+    if (op_field) {
+      record.operation_id = *op_field;
+    } else if (state != nullptr && state->has_operation) {
+      record.operation_id = state->last_operation_id;
+    } else {
+      throw TraceFormatError("binary: TRACE_NO_OPERATIONID with no prior record for file");
+    }
+    if (offset_field) {
+      record.offset = *offset_field;
+    } else if (state != nullptr) {
+      record.offset = state->next_sequential_offset;
+    } else {
+      throw TraceFormatError("binary: TRACE_NO_BLOCK with no prior access to file");
+    }
+    if (length_field) {
+      record.length = *length_field;
+    } else if (state != nullptr && state->last_length >= 0) {
+      record.length = state->last_length;
+    } else {
+      throw TraceFormatError("binary: TRACE_NO_LENGTH with no prior access to file");
+    }
+    record.start_time = has_previous ? previous_start + start_delta : start_delta;
+    validate(record);
+
+    has_previous = true;
+    previous_start = record.start_time;
+    has_last_pid = true;
+    last_pid = record.process_id;
+    last_file_by_process[record.process_id] = record.file_id;
+    FileState& fs = file_states[key];
+    fs.next_sequential_offset = record.end();
+    fs.last_length = record.length;
+    fs.last_operation_id = record.operation_id;
+    fs.has_operation = true;
+    trace.push_back(record);
+  }
+  return trace;
+}
+
+std::vector<std::byte> encode_binary_struct_dump(const Trace& trace) {
+  std::vector<std::byte> out;
+  out.reserve(trace.size() * kStructDumpRecordBytes);
+  bool has_previous = false;
+  Ticks previous_start;
+  auto put_u64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  };
+  for (const TraceRecord& record : trace) {
+    validate(record);
+    if (record.is_comment()) continue;
+    if (has_previous && record.start_time < previous_start) {
+      throw TraceFormatError("records must be encoded in start-time order");
+    }
+    const Ticks start_delta =
+        has_previous ? record.start_time - previous_start : record.start_time;
+    put_u16(out, record.record_type);
+    put_u16(out, 0);  // compression: nothing omitted in a struct dump
+    put_u32(out, static_cast<std::uint64_t>(record.offset), "offset");
+    put_u32(out, static_cast<std::uint64_t>(record.length), "length");
+    put_u64(static_cast<std::uint64_t>(start_delta.count()));
+    put_u64(static_cast<std::uint64_t>(record.completion_time.count()));
+    put_u32(out, record.operation_id, "operationId");
+    put_u32(out, record.file_id, "fileId");
+    put_u32(out, record.process_id, "processId");
+    put_u32(out, static_cast<std::uint64_t>(record.process_time.count()), "processTime");
+    has_previous = true;
+    previous_start = record.start_time;
+  }
+  return out;
+}
+
+Trace decode_binary_struct_dump(std::span<const std::byte> data) {
+  if (data.size() % kStructDumpRecordBytes != 0) {
+    throw TraceFormatError("struct-dump trace length is not a whole number of records");
+  }
+  Trace trace;
+  Cursor cursor(data);
+  bool has_previous = false;
+  Ticks previous_start;
+  auto u64 = [&cursor]() {
+    const std::uint64_t lo = cursor.u32();
+    const std::uint64_t hi = cursor.u32();
+    return lo | (hi << 32);
+  };
+  while (!cursor.done()) {
+    TraceRecord record;
+    record.record_type = cursor.u16();
+    record.compression = cursor.u16();
+    record.offset = static_cast<Bytes>(cursor.u32());
+    record.length = static_cast<Bytes>(cursor.u32());
+    const Ticks start_delta = Ticks(static_cast<std::int64_t>(u64()));
+    record.completion_time = Ticks(static_cast<std::int64_t>(u64()));
+    record.operation_id = cursor.u32();
+    record.file_id = cursor.u32();
+    record.process_id = cursor.u32();
+    record.process_time = Ticks(cursor.u32());
+    record.start_time = has_previous ? previous_start + start_delta : start_delta;
+    validate(record);
+    has_previous = true;
+    previous_start = record.start_time;
+    trace.push_back(record);
+  }
+  return trace;
+}
+
+FormatComparison compare_formats(const Trace& trace) {
+  FormatComparison result;
+  result.records = trace.size();
+  result.ascii_bytes = serialize_trace(trace).size();
+  result.binary_struct_bytes = encode_binary_struct_dump(trace).size();
+  result.binary_compressed_bytes = encode_binary(trace).size();
+  return result;
+}
+
+}  // namespace craysim::trace

@@ -1,0 +1,48 @@
+#include "trace/record.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace craysim::trace {
+
+std::uint16_t make_record_type(bool logical, bool write, bool async, DataClass data_class,
+                               bool cache_miss, bool readahead_hit) {
+  std::uint16_t type = static_cast<std::uint16_t>(data_class) & kDataClassMask;
+  if (logical) type |= kTraceLogicalRecord;
+  if (write) type |= kTraceWrite;
+  if (async) type |= kTraceAsync;
+  if (cache_miss) type |= kTraceCacheMiss;
+  if (readahead_hit) type |= kTraceReadaheadHit;
+  return type;
+}
+
+std::string to_string(const TraceRecord& r) {
+  if (r.is_comment()) return "<comment>";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s %s%s pid=%u file=%u op=%u off=%lld len=%lld start=%lld compl=%lld ptime=%lld",
+                r.is_logical() ? "log" : "phy", r.is_write() ? "W" : "R",
+                r.is_async() ? "(async)" : "", r.process_id, r.file_id, r.operation_id,
+                static_cast<long long>(r.offset), static_cast<long long>(r.length),
+                static_cast<long long>(r.start_time.count()),
+                static_cast<long long>(r.completion_time.count()),
+                static_cast<long long>(r.process_time.count()));
+  return buf;
+}
+
+void validate(const TraceRecord& r) {
+  if (r.is_comment()) return;
+  if (r.length < 0) throw TraceFormatError("negative length");
+  if (r.offset < 0) throw TraceFormatError("negative offset");
+  if (r.completion_time < Ticks::zero()) throw TraceFormatError("negative completion time");
+  if (r.process_time < Ticks::zero()) throw TraceFormatError("negative process time");
+  if (r.data_class() == DataClass::kReadahead && r.is_write()) {
+    throw TraceFormatError("readahead record marked as a write");
+  }
+  if (r.readahead_hit_annotation() && r.cache_miss_annotation()) {
+    throw TraceFormatError("readahead-hit annotation on a cache miss");
+  }
+}
+
+}  // namespace craysim::trace

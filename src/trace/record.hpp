@@ -1,0 +1,101 @@
+// The trace record format from the appendix of Miller (1991), `iotrace.h`.
+//
+// A record describes one logical (file-level) or physical (disk-level) I/O.
+// Field presence is governed by compression flags; times are always stored
+// as differences in 10 microsecond ticks. This header mirrors the original
+// C declarations with type-safe C++ equivalents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace craysim::trace {
+
+// ---------------------------------------------------------------------------
+// recordType flags (appendix: "Flags used in the recordType field").
+// ---------------------------------------------------------------------------
+
+/// What kind of data the I/O touched. Occupies the low two bits.
+enum class DataClass : std::uint16_t {
+  kFileData = 0x0,    ///< TRACE_FILE_DATA — user data
+  kMetaData = 0x1,    ///< TRACE_META_DATA — e.g. indirect blocks
+  kReadahead = 0x2,   ///< TRACE_READAHEAD — blocks requested by the FS
+  kVirtualMem = 0x3,  ///< TRACE_VIRTUAL_MEM — VM paging traffic
+};
+
+inline constexpr std::uint16_t kDataClassMask = 0x3;
+inline constexpr std::uint16_t kTraceLogicalRecord = 0x80;  ///< set: logical, clear: physical
+inline constexpr std::uint16_t kTraceWrite = 0x40;          ///< set: write, clear: read
+inline constexpr std::uint16_t kTraceAsync = 0x08;          ///< set: async, clear: sync
+inline constexpr std::uint16_t kTraceCacheMiss = 0x20;      ///< analysis-only annotation
+inline constexpr std::uint16_t kTraceReadaheadHit = 0x10;   ///< analysis-only annotation
+inline constexpr std::uint16_t kTraceComment = 0xff;        ///< whole-field comment marker
+
+// ---------------------------------------------------------------------------
+// compression flags (appendix: "The next set of flags are the compression
+// flags"). A set TRACE_NO_* flag means the field is absent from the record
+// and must be reconstructed from decoder state.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint16_t kOffsetInBlocks = 0x01;  ///< offset value is in 512 B blocks
+inline constexpr std::uint16_t kLengthInBlocks = 0x02;  ///< length value is in 512 B blocks
+inline constexpr std::uint16_t kNoLength = 0x04;        ///< length = previous record of file
+inline constexpr std::uint16_t kNoProcessId = 0x08;     ///< pid = previous record in trace
+inline constexpr std::uint16_t kNoOperationId = 0x20;   ///< opId = previous record of file
+inline constexpr std::uint16_t kNoOffset = 0x40;        ///< TRACE_NO_BLOCK: sequential w/ prev
+inline constexpr std::uint16_t kNoFileId = 0x80;        ///< fileId = prev record by process
+
+/// One trace record with all fields materialized (after decompression) or
+/// ready for compression (before encoding). Offsets/lengths are in bytes.
+struct TraceRecord {
+  std::uint16_t record_type = kTraceLogicalRecord;  ///< flag word, see above
+  std::uint16_t compression = 0;   ///< set by the encoder; informational after decode
+  Bytes offset = 0;                ///< byte offset in file (logical) or block addr (physical)
+  Bytes length = 0;                ///< request length in bytes
+  Ticks start_time;                ///< ABSOLUTE wall-clock start (deltas on the wire)
+  Ticks completion_time;           ///< duration from start to completion report
+  std::uint32_t operation_id = 0;  ///< associates logical record with its physical I/Os
+  std::uint32_t file_id = 0;       ///< unique per open (per disk for physical records)
+  std::uint32_t process_id = 0;    ///< requesting process
+  Ticks process_time;              ///< process CPU time since this process's previous I/O
+
+  [[nodiscard]] bool is_logical() const { return record_type & kTraceLogicalRecord; }
+  [[nodiscard]] bool is_write() const { return record_type & kTraceWrite; }
+  [[nodiscard]] bool is_read() const { return !is_write(); }
+  [[nodiscard]] bool is_async() const { return record_type & kTraceAsync; }
+  [[nodiscard]] bool is_comment() const { return record_type == kTraceComment; }
+  [[nodiscard]] DataClass data_class() const {
+    return static_cast<DataClass>(record_type & kDataClassMask);
+  }
+  [[nodiscard]] bool cache_miss_annotation() const { return record_type & kTraceCacheMiss; }
+  [[nodiscard]] bool readahead_hit_annotation() const { return record_type & kTraceReadaheadHit; }
+
+  /// End offset of the request (offset + length).
+  [[nodiscard]] Bytes end() const { return offset + length; }
+
+  /// Equality compares the I/O the record describes; `compression` is a wire
+  /// artifact (chosen by whichever encoder last serialized the record) and is
+  /// deliberately excluded so encode/decode round-trips compare equal.
+  friend bool operator==(const TraceRecord& a, const TraceRecord& b) {
+    return a.record_type == b.record_type && a.offset == b.offset && a.length == b.length &&
+           a.start_time == b.start_time && a.completion_time == b.completion_time &&
+           a.operation_id == b.operation_id && a.file_id == b.file_id &&
+           a.process_id == b.process_id && a.process_time == b.process_time;
+  }
+};
+
+/// Builds a record_type flag word from components.
+[[nodiscard]] std::uint16_t make_record_type(bool logical, bool write, bool async,
+                                             DataClass data_class = DataClass::kFileData,
+                                             bool cache_miss = false, bool readahead_hit = false);
+
+/// Human-readable one-line rendering (debugging aid, not the wire format).
+[[nodiscard]] std::string to_string(const TraceRecord& record);
+
+/// Throws TraceFormatError if the record is internally inconsistent
+/// (negative length, comment with payload fields, annotation misuse).
+void validate(const TraceRecord& record);
+
+}  // namespace craysim::trace

@@ -1,0 +1,146 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace craysim::trace {
+
+FileUsage FileStats::usage() const {
+  if (read_count > 0 && write_count > 0) return FileUsage::kReadWrite;
+  if (read_count > 0) return FileUsage::kReadOnly;
+  if (write_count > 0) return FileUsage::kWriteOnly;
+  return FileUsage::kUntouched;
+}
+
+double FileStats::sequential_fraction() const {
+  return total > 0 ? static_cast<double>(sequential) / static_cast<double>(total) : 0.0;
+}
+
+double TraceStats::avg_io_bytes() const {
+  return io_count > 0 ? static_cast<double>(total_bytes()) / static_cast<double>(io_count) : 0.0;
+}
+
+double TraceStats::mb_per_cpu_second() const { return mb_per_second(total_bytes(), cpu_time); }
+
+double TraceStats::ios_per_cpu_second() const {
+  if (cpu_time <= Ticks::zero()) return 0.0;
+  return static_cast<double>(io_count) / cpu_time.seconds();
+}
+
+double TraceStats::read_mb_per_cpu_second() const { return mb_per_second(read_bytes, cpu_time); }
+
+double TraceStats::write_mb_per_cpu_second() const { return mb_per_second(write_bytes, cpu_time); }
+
+double TraceStats::read_ios_per_cpu_second() const {
+  if (cpu_time <= Ticks::zero()) return 0.0;
+  return static_cast<double>(read_count) / cpu_time.seconds();
+}
+
+double TraceStats::write_ios_per_cpu_second() const {
+  if (cpu_time <= Ticks::zero()) return 0.0;
+  return static_cast<double>(write_count) / cpu_time.seconds();
+}
+
+double TraceStats::read_write_ratio() const {
+  if (write_bytes == 0) {
+    return read_bytes == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(read_bytes) / static_cast<double>(write_bytes);
+}
+
+double TraceStats::sequential_fraction() const {
+  return io_count > 0 ? static_cast<double>(sequential) / static_cast<double>(io_count) : 0.0;
+}
+
+double TraceStats::top_file_byte_share(std::size_t n) const {
+  if (total_bytes() == 0) return 0.0;
+  std::vector<Bytes> per_file;
+  per_file.reserve(files.size());
+  for (const auto& [id, fs] : files) per_file.push_back(fs.total_bytes());
+  std::sort(per_file.begin(), per_file.end(), std::greater<>());
+  Bytes top = 0;
+  for (std::size_t i = 0; i < n && i < per_file.size(); ++i) top += per_file[i];
+  return static_cast<double>(top) / static_cast<double>(total_bytes());
+}
+
+TraceStats compute_stats(std::span<const TraceRecord> trace) {
+  TraceStats stats;
+  std::unordered_map<std::uint32_t, Ticks> cpu_by_process;
+  bool first = true;
+  Ticks first_start;
+  Ticks last_end;
+
+  for (const TraceRecord& r : trace) {
+    if (r.is_comment() || !r.is_logical() || r.data_class() != DataClass::kFileData) continue;
+    if (first) {
+      first_start = r.start_time;
+      last_end = r.start_time + r.completion_time;
+      first = false;
+    } else {
+      last_end = std::max(last_end, r.start_time + r.completion_time);
+    }
+    ++stats.io_count;
+    stats.size_histogram.add(r.length);
+    if (r.is_async()) ++stats.async_count;
+
+    FileStats& fs = stats.files[r.file_id];
+    fs.file_id = r.file_id;
+    ++fs.total;
+    // An access is sequential when it starts exactly where the previous
+    // access to the same file ended (the appendix's sequential criterion).
+    // `fs.total > 1` guards the first access, which has no predecessor.
+    if (fs.total > 1 && r.offset == fs.next_expected) ++fs.sequential;
+    fs.next_expected = r.end();
+    fs.max_extent = std::max(fs.max_extent, r.end());
+    if (r.is_write()) {
+      ++stats.write_count;
+      stats.write_bytes += r.length;
+      ++fs.write_count;
+      fs.write_bytes += r.length;
+    } else {
+      ++stats.read_count;
+      stats.read_bytes += r.length;
+      ++fs.read_count;
+      fs.read_bytes += r.length;
+    }
+    cpu_by_process[r.process_id] += r.process_time;
+  }
+
+  for (auto& [id, fs] : stats.files) stats.sequential += fs.sequential;
+  for (const auto& [pid, cpu] : cpu_by_process) stats.cpu_time += cpu;
+  if (!first) stats.wall_time = last_end - first_start;
+  for (const auto& [id, fs] : stats.files) stats.data_set_size += fs.max_extent;
+  return stats;
+}
+
+std::string summarize(const TraceStats& s, const std::string& name) {
+  char buf[512];
+  std::string out = "=== trace: " + name + " ===\n";
+  std::snprintf(buf, sizeof buf,
+                "  CPU time        %.2f s\n"
+                "  data set size   %s\n"
+                "  total I/O       %s in %lld requests (avg %s)\n"
+                "  rates           %.2f MB/s, %.1f IOs/s (per CPU second)\n"
+                "  reads / writes  %.2f / %.2f MB/s   %.1f / %.1f IOs/s\n"
+                "  R/W data ratio  %.2f\n"
+                "  sequentiality   %.1f%%   async: %.1f%%\n"
+                "  files           %zu (top-6 files carry %.1f%% of bytes)\n",
+                s.cpu_time.seconds(), format_bytes(s.data_set_size).c_str(),
+                format_bytes(s.total_bytes()).c_str(), static_cast<long long>(s.io_count),
+                format_bytes(static_cast<Bytes>(s.avg_io_bytes())).c_str(),
+                s.mb_per_cpu_second(), s.ios_per_cpu_second(), s.read_mb_per_cpu_second(),
+                s.write_mb_per_cpu_second(), s.read_ios_per_cpu_second(),
+                s.write_ios_per_cpu_second(), s.read_write_ratio(),
+                100.0 * s.sequential_fraction(),
+                s.io_count ? 100.0 * static_cast<double>(s.async_count) /
+                                 static_cast<double>(s.io_count)
+                           : 0.0,
+                s.files.size(), 100.0 * s.top_file_byte_share(6));
+  out += buf;
+  return out;
+}
+
+}  // namespace craysim::trace

@@ -1,0 +1,77 @@
+// Trace characterization: the aggregate and per-file statistics behind
+// Tables 1 and 2 and the access-pattern analysis of Section 5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "trace/record.hpp"
+#include "util/histogram.hpp"
+#include "util/units.hpp"
+
+namespace craysim::trace {
+
+/// How a file was used over the whole trace.
+enum class FileUsage { kReadOnly, kWriteOnly, kReadWrite, kUntouched };
+
+/// Per-file access statistics.
+struct FileStats {
+  std::uint32_t file_id = 0;
+  std::int64_t read_count = 0;
+  std::int64_t write_count = 0;
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+  Bytes max_extent = 0;        ///< highest byte offset touched (file-size proxy)
+  std::int64_t sequential = 0; ///< accesses starting exactly at the previous end
+  std::int64_t total = 0;
+  Bytes next_expected = 0;     ///< bookkeeping: end offset of the previous access
+
+  [[nodiscard]] FileUsage usage() const;
+  [[nodiscard]] double sequential_fraction() const;
+  [[nodiscard]] Bytes total_bytes() const { return read_bytes + write_bytes; }
+};
+
+/// Whole-trace statistics in the paper's reporting units.
+struct TraceStats {
+  std::int64_t io_count = 0;
+  std::int64_t read_count = 0;
+  std::int64_t write_count = 0;
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+  Ticks cpu_time;            ///< summed per-process CPU time ("Running time")
+  Ticks wall_time;           ///< last start + completion - first start
+  Bytes data_set_size = 0;   ///< sum of per-file extents ("Total data size")
+  std::int64_t sequential = 0;
+  std::int64_t async_count = 0;
+  std::map<std::uint32_t, FileStats> files;
+  Log2Histogram size_histogram;  ///< request sizes in bytes
+
+  [[nodiscard]] Bytes total_bytes() const { return read_bytes + write_bytes; }
+  [[nodiscard]] double avg_io_bytes() const;
+  /// Rates are per CPU second, as the paper reports them.
+  [[nodiscard]] double mb_per_cpu_second() const;
+  [[nodiscard]] double ios_per_cpu_second() const;
+  [[nodiscard]] double read_mb_per_cpu_second() const;
+  [[nodiscard]] double write_mb_per_cpu_second() const;
+  [[nodiscard]] double read_ios_per_cpu_second() const;
+  [[nodiscard]] double write_ios_per_cpu_second() const;
+  /// Read/write ratio by data volume (paper Table 2); +inf when no writes.
+  [[nodiscard]] double read_write_ratio() const;
+  [[nodiscard]] double sequential_fraction() const;
+
+  /// Fraction of total bytes moved to/from the `n` busiest files — the
+  /// paper's "a very large majority of the accesses went to only a small
+  /// number of files".
+  [[nodiscard]] double top_file_byte_share(std::size_t n) const;
+};
+
+/// Computes statistics over logical file-data records (metadata and physical
+/// records are excluded, matching the paper's tables).
+[[nodiscard]] TraceStats compute_stats(std::span<const TraceRecord> trace);
+
+/// Renders a one-trace summary block (used by the trace_analyzer example).
+[[nodiscard]] std::string summarize(const TraceStats& stats, const std::string& name);
+
+}  // namespace craysim::trace

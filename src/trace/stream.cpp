@@ -1,0 +1,66 @@
+#include "trace/stream.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace craysim::trace {
+
+void TraceWriter::write(const TraceRecord& record) {
+  *out_ << encoder_.encode(record) << '\n';
+  ++records_written_;
+}
+
+void TraceWriter::comment(std::string_view text) {
+  *out_ << encoder_.encode_comment(text) << '\n';
+}
+
+std::optional<TraceRecord> TraceReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
+    try {
+      if (auto record = decoder_.decode_line(line)) return record;
+    } catch (const TraceFormatError& e) {
+      throw TraceFormatError("line " + std::to_string(line_number_) + ": " + e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+std::string serialize_trace(const Trace& trace, std::string_view header_comment) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  if (!header_comment.empty()) writer.comment(header_comment);
+  for (const auto& record : trace) writer.write(record);
+  return out.str();
+}
+
+Trace parse_trace(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  TraceReader reader(in);
+  Trace trace;
+  while (auto record = reader.next()) trace.push_back(*record);
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path, std::string_view header_comment) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  TraceWriter writer(out);
+  if (!header_comment.empty()) writer.comment(header_comment);
+  for (const auto& record : trace) writer.write(record);
+  if (!out) throw Error("write failed: " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  TraceReader reader(in);
+  Trace trace;
+  while (auto record = reader.next()) trace.push_back(*record);
+  return trace;
+}
+
+}  // namespace craysim::trace

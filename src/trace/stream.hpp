@@ -1,0 +1,63 @@
+// Stream-level trace I/O: whole traces to/from iostreams or files.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/codec.hpp"
+#include "trace/record.hpp"
+
+namespace craysim::trace {
+
+/// An in-memory trace: records in start-time order with absolute times.
+using Trace = std::vector<TraceRecord>;
+
+/// Writes records (and comments) to a text stream in the wire format.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+
+  void write(const TraceRecord& record);
+  void comment(std::string_view text);
+
+  [[nodiscard]] std::int64_t records_written() const { return records_written_; }
+
+ private:
+  std::ostream* out_;
+  AsciiTraceEncoder encoder_;
+  std::int64_t records_written_ = 0;
+};
+
+/// Reads records from a text stream, skipping comments.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in) : in_(&in) {}
+
+  /// Next record, or nullopt at end of stream. Throws TraceFormatError on
+  /// malformed input (with a line number in the message).
+  [[nodiscard]] std::optional<TraceRecord> next();
+
+  [[nodiscard]] std::int64_t line_number() const { return line_number_; }
+  [[nodiscard]] const AsciiTraceDecoder& decoder() const { return decoder_; }
+
+ private:
+  std::istream* in_;
+  AsciiTraceDecoder decoder_;
+  std::int64_t line_number_ = 0;
+};
+
+/// Serializes a whole trace (optionally with a leading identification
+/// comment, as the paper recommends) and returns the text.
+[[nodiscard]] std::string serialize_trace(const Trace& trace, std::string_view header_comment = {});
+
+/// Parses a whole trace from text.
+[[nodiscard]] Trace parse_trace(std::string_view text);
+
+/// File variants. Throw craysim::Error on I/O failure.
+void save_trace(const Trace& trace, const std::string& path,
+                std::string_view header_comment = {});
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace craysim::trace

@@ -1,0 +1,54 @@
+// Trace packets: the on-the-wire unit between the instrumented I/O library
+// and the procstat collector (Section 4.3 of the paper).
+//
+// "Operations on each file were sent in batches, so one header served for
+//  hundreds of I/O calls and the header overhead was amortized over many
+//  calls. In addition, trace packets were forced out every hundred thousand
+//  I/Os."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace craysim::tracer {
+
+/// One I/O inside a packet. Three to five 8-byte words on the Cray: start /
+/// completion / process-time deltas always, offset and length only when they
+/// cannot be inferred (sequential, same-size I/O omits both).
+struct PacketEntry {
+  Ticks start_time;       ///< absolute wall-clock start
+  Ticks completion_time;  ///< duration
+  Ticks process_time;     ///< CPU delta since process's previous I/O
+  Bytes offset = 0;
+  Bytes length = 0;
+  bool write = false;
+  bool async = false;
+  bool offset_implied = false;  ///< sequential with previous entry of this file
+  bool length_implied = false;  ///< same size as previous entry of this file
+
+  /// Encoded size in bytes: 3 words + 1 each for explicit offset/length.
+  [[nodiscard]] std::int64_t encoded_bytes() const {
+    return 8 * (3 + (offset_implied ? 0 : 1) + (length_implied ? 0 : 1));
+  }
+};
+
+/// A batch of entries for one (process, file) pair with an 8-word header.
+struct TracePacket {
+  static constexpr std::int64_t kHeaderBytes = 64;  ///< 8 Cray words
+
+  std::uint32_t process_id = 0;
+  std::uint32_t file_id = 0;
+  std::uint64_t sequence = 0;   ///< global emission order
+  Ticks emitted_at;             ///< when the packet was flushed to procstat
+  std::vector<PacketEntry> entries;
+
+  [[nodiscard]] std::int64_t encoded_bytes() const {
+    std::int64_t total = kHeaderBytes;
+    for (const auto& e : entries) total += e.encoded_bytes();
+    return total;
+  }
+};
+
+}  // namespace craysim::tracer

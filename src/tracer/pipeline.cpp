@@ -1,0 +1,137 @@
+#include "tracer/pipeline.hpp"
+
+#include <algorithm>
+
+#include "trace/record.hpp"
+
+namespace craysim::tracer {
+
+double CollectorStats::overhead_fraction(Ticks io_syscall_time) const {
+  if (entries == 0 || io_syscall_time <= Ticks::zero()) return 0.0;
+  const double per_io =
+      static_cast<double>(tracing_cpu.count()) / static_cast<double>(entries);
+  return per_io / static_cast<double>(io_syscall_time.count());
+}
+
+double CollectorStats::bytes_per_io() const {
+  if (entries == 0) return 0.0;
+  return static_cast<double>(packet_bytes) / static_cast<double>(entries);
+}
+
+void ProcstatCollector::receive(TracePacket packet) {
+  packet.sequence = next_sequence_++;
+  ++stats_.packets;
+  stats_.entries += static_cast<std::int64_t>(packet.entries.size());
+  stats_.packet_bytes += packet.encoded_bytes();
+  log_.push_back(std::move(packet));
+}
+
+void ProcstatCollector::account_entry(Bytes io_bytes, Ticks cpu) {
+  stats_.traced_io_bytes += io_bytes;
+  stats_.tracing_cpu += cpu;
+}
+
+LibraryTracer::LibraryTracer(ProcstatCollector& collector, TracerOptions options)
+    : collector_(&collector), options_(options) {}
+
+void LibraryTracer::record_io(std::uint32_t process_id, std::uint32_t file_id, Bytes offset,
+                              Bytes length, bool write, bool async, Ticks start_time,
+                              Ticks completion_time, Ticks process_time) {
+  const Key key{process_id, file_id};
+  PacketEntry entry;
+  entry.start_time = start_time;
+  entry.completion_time = completion_time;
+  entry.process_time = process_time;
+  entry.offset = offset;
+  entry.length = length;
+  entry.write = write;
+  entry.async = async;
+  const auto last = last_entry_.find(key);
+  if (last != last_entry_.end()) {
+    entry.offset_implied = (offset == last->second.offset + last->second.length);
+    entry.length_implied = (length == last->second.length);
+  }
+  last_entry_[key] = entry;
+
+  TracePacket& batch = batches_[key];
+  batch.process_id = process_id;
+  batch.file_id = file_id;
+  batch.entries.push_back(entry);
+  collector_->account_entry(length, options_.cpu_per_entry);
+  ++ios_recorded_;
+
+  if (static_cast<std::int64_t>(batch.entries.size()) >= options_.entries_per_packet) {
+    flush(key);
+  }
+  if (options_.force_flush_every > 0 && ios_recorded_ % options_.force_flush_every == 0) {
+    collector_->note_forced_flush();
+    flush_all();
+  }
+}
+
+void LibraryTracer::close_file(std::uint32_t process_id, std::uint32_t file_id) {
+  const Key key{process_id, file_id};
+  flush(key);
+  last_entry_.erase(key);
+}
+
+void LibraryTracer::finish() { flush_all(); }
+
+void LibraryTracer::flush(const Key& key) {
+  const auto it = batches_.find(key);
+  if (it == batches_.end() || it->second.entries.empty()) return;
+  it->second.emitted_at = it->second.entries.back().start_time;
+  collector_->account_entry(0, options_.cpu_per_packet);
+  collector_->receive(std::move(it->second));
+  batches_.erase(it);
+}
+
+void LibraryTracer::flush_all() {
+  // Collect keys first: flush() mutates the map.
+  std::vector<Key> keys;
+  keys.reserve(batches_.size());
+  for (const auto& [key, batch] : batches_) keys.push_back(key);
+  for (const auto& key : keys) flush(key);
+}
+
+trace::Trace reconstruct(const std::vector<TracePacket>& log) {
+  trace::Trace records;
+  std::uint32_t op_id = 1;
+  for (const TracePacket& packet : log) {
+    for (const PacketEntry& entry : packet.entries) {
+      trace::TraceRecord r;
+      r.record_type = trace::make_record_type(/*logical=*/true, entry.write, entry.async);
+      r.offset = entry.offset;
+      r.length = entry.length;
+      r.start_time = entry.start_time;
+      r.completion_time = entry.completion_time;
+      r.process_time = entry.process_time;
+      r.file_id = packet.file_id;
+      r.process_id = packet.process_id;
+      records.push_back(r);
+    }
+  }
+  // The merge step: packets arrive file-batched, so the stream must be
+  // re-sorted by start time. stable_sort keeps same-tick ordering by packet
+  // arrival, matching how procstat post-processing behaved.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                     return a.start_time < b.start_time;
+                   });
+  for (auto& r : records) r.operation_id = op_id++;
+  return records;
+}
+
+ProcstatCollector instrument_trace(const trace::Trace& trace, const TracerOptions& options) {
+  ProcstatCollector collector;
+  LibraryTracer tracer(collector, options);
+  for (const auto& r : trace) {
+    if (r.is_comment() || !r.is_logical()) continue;
+    tracer.record_io(r.process_id, r.file_id, r.offset, r.length, r.is_write(), r.is_async(),
+                     r.start_time, r.completion_time, r.process_time);
+  }
+  tracer.finish();
+  return collector;
+}
+
+}  // namespace craysim::tracer

@@ -1,0 +1,70 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace craysim {
+
+std::string ascii_plot(std::span<const double> series, const PlotOptions& options) {
+  if (series.empty()) return "(empty series)\n";
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+
+  // Downsample to `width` columns, taking the max within each group so bursts
+  // stay visible (mean would smear the paper's characteristic spikes).
+  std::vector<double> cols(std::min(width, series.size()), 0.0);
+  const double group = static_cast<double>(series.size()) / static_cast<double>(cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto lo = static_cast<std::size_t>(static_cast<double>(c) * group);
+    auto hi = static_cast<std::size_t>(static_cast<double>(c + 1) * group);
+    hi = std::max(hi, lo + 1);
+    double m = 0.0;
+    for (std::size_t i = lo; i < hi && i < series.size(); ++i) m = std::max(m, series[i]);
+    cols[c] = m;
+  }
+
+  double y_max = options.y_max;
+  if (y_max < options.y_min) {
+    y_max = options.y_min;
+    for (double v : cols) y_max = std::max(y_max, v);
+    if (y_max <= options.y_min) y_max = options.y_min + 1.0;
+  }
+  const double y_range = y_max - options.y_min;
+
+  std::string out;
+  out += options.y_label + " (max " + format_number(y_max, 1) + ")\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    const double threshold =
+        options.y_min + y_range * static_cast<double>(height - r) / static_cast<double>(height);
+    char label[32];
+    std::snprintf(label, sizeof label, "%8.1f |", threshold);
+    out += label;
+    for (double v : cols) out += (v >= threshold - 1e-12) ? '#' : ' ';
+    out += '\n';
+  }
+  out += std::string(8, ' ') + " +" + std::string(cols.size(), '-') + "\n";
+  char xinfo[96];
+  std::snprintf(xinfo, sizeof xinfo, "%10s0 .. %s (%s)\n", "",
+                format_number(static_cast<double>(series.size()) * options.x_scale, 1).c_str(),
+                options.x_label.c_str());
+  out += xinfo;
+  return out;
+}
+
+std::string series_csv(std::span<const double> series, double x_scale, const std::string& x_name,
+                       const std::string& y_name) {
+  std::string out = x_name + "," + y_name + "\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out += format_number(static_cast<double>(i) * x_scale, 4);
+    out += ',';
+    out += format_number(series[i], 4);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace craysim

@@ -1,0 +1,29 @@
+// Terminal plots for the figure-reproduction benches. Each figure bench
+// prints both an ASCII rendering (quick visual shape check against the paper)
+// and a CSV series (for external plotting).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace craysim {
+
+struct PlotOptions {
+  std::size_t width = 100;        ///< columns used for the data area
+  std::size_t height = 20;        ///< rows used for the data area
+  double y_min = 0.0;             ///< lower bound of the y axis
+  double y_max = -1.0;            ///< upper bound; < y_min means auto-scale
+  std::string x_label = "t";      ///< label under the x axis
+  std::string y_label = "value";  ///< label next to the y axis
+  double x_scale = 1.0;           ///< multiplier from bin index to x units
+};
+
+/// Vertical-bar plot of a series (one column per downsampled bin group),
+/// in the style of the paper's data-rate-over-time figures.
+[[nodiscard]] std::string ascii_plot(std::span<const double> series, const PlotOptions& options);
+
+/// "x,y" CSV dump of a series with the given x scale (bin index * x_scale).
+[[nodiscard]] std::string series_csv(std::span<const double> series, double x_scale,
+                                     const std::string& x_name, const std::string& y_name);
+
+}  // namespace craysim

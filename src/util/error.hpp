@@ -1,0 +1,34 @@
+// Exception hierarchy for craysim. Parse and usage errors throw; simulation
+// invariant violations assert (they indicate bugs, not bad input).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace craysim {
+
+/// Base class for all craysim errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed trace text, impossible compression state, bad flag combination.
+class TraceFormatError : public Error {
+ public:
+  explicit TraceFormatError(const std::string& what) : Error("trace format: " + what) {}
+};
+
+/// Invalid configuration (negative cache size, zero-length file, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// File-system substrate errors (unknown file id, out-of-space, ...).
+class FsError : public Error {
+ public:
+  explicit FsError(const std::string& what) : Error("fs: " + what) {}
+};
+
+}  // namespace craysim

@@ -1,0 +1,67 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace craysim {
+namespace {
+
+std::size_t bucket_of(std::int64_t value) {
+  if (value <= 1) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)) - 1);
+}
+
+}  // namespace
+
+void Log2Histogram::add(std::int64_t value, std::int64_t weight) {
+  const std::size_t b = bucket_of(value);
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  counts_[b] += weight;
+  total_ += weight;
+}
+
+std::int64_t Log2Histogram::bucket_count(std::size_t bucket) const {
+  return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+std::int64_t Log2Histogram::bucket_floor(std::size_t bucket) {
+  return bucket >= 63 ? INT64_MAX : (std::int64_t{1} << bucket);
+}
+
+std::int64_t Log2Histogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += static_cast<double>(counts_[i]);
+    if (seen >= target) return bucket_floor(i);
+  }
+  return bucket_floor(counts_.size() - 1);
+}
+
+std::string Log2Histogram::render(std::size_t max_bar_width) const {
+  std::string out;
+  std::int64_t max_count = 0;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  if (max_count == 0) return "(empty histogram)\n";
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof line, "[%12lld, %12lld) %10lld ",
+                  static_cast<long long>(bucket_floor(i)),
+                  static_cast<long long>(i + 1 >= 63 ? INT64_MAX : bucket_floor(i + 1)),
+                  static_cast<long long>(counts_[i]));
+    out += line;
+    out.append(std::max<std::size_t>(width, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace craysim

@@ -1,0 +1,34 @@
+// Fixed-bucket and log2 histograms for request-size / latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace craysim {
+
+/// Power-of-two bucketed histogram for positive integer samples (request
+/// sizes in bytes, latencies in ticks). Bucket i covers [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  void add(std::int64_t value, std::int64_t weight = 1);
+
+  [[nodiscard]] std::int64_t total_count() const { return total_; }
+  [[nodiscard]] std::int64_t bucket_count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+
+  /// Lower bound of bucket i (2^i; bucket 0 also holds values <= 1).
+  [[nodiscard]] static std::int64_t bucket_floor(std::size_t bucket);
+
+  /// Approximate percentile using bucket lower bounds. `p` in [0, 100].
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  /// Multi-line "[floor, 2*floor) count bar" rendering.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 40) const;
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace craysim

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in craysim (workload jitter, disk access-time
+// distribution) draws from an explicitly seeded Rng so that runs are exactly
+// reproducible; there is no hidden global randomness.
+#pragma once
+
+#include <cstdint>
+
+namespace craysim {
+
+/// xoshiro256** seeded via SplitMix64. Small, fast, and good enough for
+/// simulation-quality randomness; never use for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated below at `lo` (resampled, then clamped after 16 tries).
+  double normal_at_least(double mean, double stddev, double lo);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Derive an independent child stream (for per-process RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace craysim

@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace craysim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  assert(std::is_sorted(sorted_values.begin(), sorted_values.end()));
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  if (lag == 0 || series.size() <= lag + 1) return 0.0;
+  const std::size_t n = series.size() - lag;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += series[i];
+    mean_b += series[i + lag];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = series[i] - mean_a;
+    const double db = series[i + lag] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+std::size_t dominant_period(std::span<const double> series, std::size_t min_lag,
+                            std::size_t max_lag) {
+  if (min_lag == 0) min_lag = 1;
+  max_lag = std::min(max_lag, series.empty() ? std::size_t{0} : series.size() / 2);
+  double best = 0.0;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double r = autocorrelation(series, lag);
+    // Require a local maximum so harmonics at 2x, 3x the period don't win.
+    if (r > best + 1e-12) {
+      best = r;
+      best_lag = lag;
+    }
+  }
+  return best > 0.1 ? best_lag : 0;
+}
+
+}  // namespace craysim

@@ -1,0 +1,48 @@
+// Streaming and batch descriptive statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace craysim {
+
+/// Welford-style streaming accumulator: count / mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation). `p` in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> sorted_values, double p);
+
+/// Mean of a sample; 0 for empty input.
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+/// Normalized autocorrelation of `series` at lag `lag` (Pearson against the
+/// lag-shifted copy). Returns 0 when the series is too short or constant.
+[[nodiscard]] double autocorrelation(std::span<const double> series, std::size_t lag);
+
+/// Finds the lag (in bins) of the strongest autocorrelation peak within
+/// [min_lag, max_lag]; 0 when no positive peak exists. Used to detect the
+/// per-iteration I/O cycles of Section 5.3 of the paper.
+[[nodiscard]] std::size_t dominant_period(std::span<const double> series, std::size_t min_lag,
+                                          std::size_t max_lag);
+
+}  // namespace craysim

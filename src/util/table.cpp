@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace craysim {
+
+std::string format_number(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::num(double value, int precision) {
+  return cell(format_number(value, precision));
+}
+
+TextTable& TextTable::integer(long long value) { return cell(std::to_string(value)); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out += v;
+      if (c + 1 < widths.size()) out.append(widths[c] - v.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c], '-');
+    if (c + 1 < widths.size()) out.append(2, ' ');
+  }
+  out += '\n';
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  auto emit = [](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit(headers_, out);
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+}  // namespace craysim

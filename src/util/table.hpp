@@ -1,0 +1,38 @@
+// Plain-text table rendering for bench output (paper-vs-measured rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace craysim {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// consistently. Rendered with a header rule, e.g.:
+///
+///   app    MB/s (paper)  MB/s (measured)
+///   -----  ------------  ---------------
+///   venus  44.1          43.8
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_cell/num calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& num(double value, int precision = 3);
+  TextTable& integer(long long value);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats like "%.*f" but trims trailing zeros ("44.100" -> "44.1").
+[[nodiscard]] std::string format_number(double value, int precision = 3);
+
+}  // namespace craysim

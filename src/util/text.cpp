@@ -1,0 +1,103 @@
+#include "util/text.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace craysim {
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    while (start < text.size() && text[start] == delim) ++start;
+    std::size_t end = start;
+    while (end < text.size() && text[end] != delim) ++end;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  int base = 10;
+  if (starts_with(text, "0x") || starts_with(text, "0X")) {
+    text.remove_prefix(2);
+    base = 16;
+    if (text.empty()) return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t> parse_size(std::string_view text) {
+  text = trim(text);
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) || text[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  const auto number = parse_double(text.substr(0, digits));
+  if (!number) return std::nullopt;
+  std::string unit;
+  for (char c : text.substr(digits)) unit += static_cast<char>(std::tolower(c));
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb") {
+    mult = 1e3;
+  } else if (unit == "m" || unit == "mb") {
+    mult = 1e6;
+  } else if (unit == "g" || unit == "gb") {
+    mult = 1e9;
+  } else if (unit == "kib") {
+    mult = 1024.0;
+  } else if (unit == "mib") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "gib") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(*number * mult + 0.5);
+}
+
+}  // namespace craysim

@@ -1,0 +1,34 @@
+// Small text utilities used by the trace codec and CLI examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace craysim {
+
+/// Splits on any run of the given delimiter; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Strict signed integer parse of the full string; nullopt on any junk.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// Strict unsigned parse (used for flag fields, which may be hex "0x..").
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Strict double parse of the full string.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Removes leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses sizes like "32MB", "4k", "512", "1GiB" into bytes (decimal for
+/// KB/MB/GB, binary for KiB/MiB/GiB, case-insensitive). nullopt on junk.
+[[nodiscard]] std::optional<std::int64_t> parse_size(std::string_view text);
+
+}  // namespace craysim

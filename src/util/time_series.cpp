@@ -1,0 +1,51 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace craysim {
+
+BinnedSeries::BinnedSeries(Ticks bin_width) : bin_width_(bin_width) {
+  if (bin_width <= Ticks::zero()) throw ConfigError("BinnedSeries bin width must be positive");
+}
+
+void BinnedSeries::add(Ticks when, double amount) {
+  const std::int64_t idx64 = std::max<std::int64_t>(0, when / bin_width_);
+  const auto idx = static_cast<std::size_t>(idx64);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += amount;
+}
+
+void BinnedSeries::add_spread(Ticks start, Ticks duration, double amount) {
+  if (duration <= Ticks::zero()) {
+    add(start, amount);
+    return;
+  }
+  const Ticks end = start + duration;
+  Ticks cursor = start;
+  while (cursor < end) {
+    const std::int64_t bin_idx = std::max<std::int64_t>(0, cursor / bin_width_);
+    const Ticks bin_end = Ticks((bin_idx + 1) * bin_width_.count());
+    const Ticks slice_end = std::min(bin_end, end);
+    const double fraction = static_cast<double>((slice_end - cursor).count()) /
+                            static_cast<double>(duration.count());
+    add(cursor, amount * fraction);
+    cursor = slice_end;
+  }
+}
+
+std::vector<double> BinnedSeries::rates() const {
+  std::vector<double> out(bins_.size());
+  const double width_s = bin_width_.seconds();
+  for (std::size_t i = 0; i < bins_.size(); ++i) out[i] = bins_[i] / width_s;
+  return out;
+}
+
+double BinnedSeries::total() const {
+  double sum = 0.0;
+  for (double b : bins_) sum += b;
+  return sum;
+}
+
+}  // namespace craysim

@@ -1,0 +1,43 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace craysim {
+
+std::string format_ticks(Ticks t) {
+  char buf[64];
+  const double us = t.microseconds();
+  const double abs_us = std::fabs(us);
+  if (abs_us >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f s", us / 1e6);
+  } else if (abs_us >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f us", us);
+  }
+  return buf;
+}
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double d = static_cast<double>(b);
+  const double ad = std::fabs(d);
+  if (ad >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", d / 1e9);
+  } else if (ad >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", d / 1e6);
+  } else if (ad >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", d / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+double mb_per_second(Bytes bytes, Ticks elapsed) {
+  if (elapsed <= Ticks::zero()) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) / elapsed.seconds();
+}
+
+}  // namespace craysim

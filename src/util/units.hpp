@@ -1,0 +1,85 @@
+// Simulated-time and data-size units shared by every craysim library.
+//
+// The trace format of Miller (1991) expresses all times as differences in
+// units of 10 microseconds; `Ticks` is that unit as a strong type so that
+// tick counts, byte counts, and plain integers cannot be mixed accidentally.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace craysim {
+
+/// Byte counts. Signed so that size arithmetic (deltas, compressed-field
+/// reconstruction) cannot underflow silently.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// The paper reports sizes in decimal megabytes; provide both.
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+
+/// Trace block size from the appendix (`TRACE_BLOCK_SIZE`).
+inline constexpr Bytes kTraceBlockSize = 512;
+
+/// A duration or timestamp in 10-microsecond trace ticks.
+class Ticks {
+ public:
+  constexpr Ticks() = default;
+  constexpr explicit Ticks(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(count_) / 100'000.0;
+  }
+  [[nodiscard]] constexpr double microseconds() const {
+    return static_cast<double>(count_) * 10.0;
+  }
+
+  static constexpr Ticks from_seconds(double s) {
+    return Ticks(static_cast<std::int64_t>(s * 100'000.0 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Ticks from_ms(double ms) { return from_seconds(ms / 1e3); }
+  static constexpr Ticks from_us(double us) { return from_seconds(us / 1e6); }
+  static constexpr Ticks zero() { return Ticks(0); }
+  static constexpr Ticks max() { return Ticks(INT64_MAX); }
+
+  constexpr Ticks& operator+=(Ticks other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Ticks& operator-=(Ticks other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Ticks operator+(Ticks a, Ticks b) { return Ticks(a.count_ + b.count_); }
+  friend constexpr Ticks operator-(Ticks a, Ticks b) { return Ticks(a.count_ - b.count_); }
+  friend constexpr Ticks operator*(Ticks a, std::int64_t k) { return Ticks(a.count_ * k); }
+  friend constexpr Ticks operator*(std::int64_t k, Ticks a) { return Ticks(a.count_ * k); }
+  friend constexpr std::int64_t operator/(Ticks a, Ticks b) { return a.count_ / b.count_; }
+  friend constexpr Ticks operator/(Ticks a, std::int64_t k) { return Ticks(a.count_ / k); }
+  friend constexpr Ticks operator%(Ticks a, Ticks b) { return Ticks(a.count_ % b.count_); }
+  friend constexpr auto operator<=>(Ticks, Ticks) = default;
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+inline constexpr Ticks kTicksPerSecond = Ticks(100'000);
+
+/// "165.00 s", "12.34 ms", "870 us" — human-readable duration.
+[[nodiscard]] std::string format_ticks(Ticks t);
+
+/// "1.23 MB", "512 KB" — human-readable decimal size.
+[[nodiscard]] std::string format_bytes(Bytes b);
+
+/// MB/s given bytes moved over a duration; 0 for non-positive durations.
+[[nodiscard]] double mb_per_second(Bytes bytes, Ticks elapsed);
+
+}  // namespace craysim

@@ -1,0 +1,205 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace craysim::workload {
+
+AppRequestGenerator::AppRequestGenerator(AppProfile profile)
+    : profile_(std::move(profile)), rng_(profile_.seed) {
+  profile_.validate();
+  // Only profiles that actually have startup/finale bursts get an edge CPU
+  // share; otherwise all CPU belongs to the cycles (keeping the trace's
+  // observable CPU time equal to the published running time).
+  const auto edge_total =
+      Ticks(static_cast<std::int64_t>(static_cast<double>(profile_.cpu_time.count()) *
+                                      profile_.edge_cpu_fraction));
+  edge_cpu_each_ = edge_total / 2;
+  Ticks edge_used;
+  if (!profile_.startup.empty()) edge_used += edge_cpu_each_;
+  if (!profile_.finale.empty()) edge_used += edge_cpu_each_;
+  cycle_cpu_ = (profile_.cpu_time - edge_used) / profile_.cycles;
+  final_compute_ = profile_.cpu_time - edge_used - cycle_cpu_ * profile_.cycles;  // remainder
+
+  // Cursor table: startup bursts, then finale bursts, then cycle bursts.
+  const std::size_t burst_kinds =
+      profile_.startup.size() + profile_.finale.size() + profile_.cycle.size();
+  cycle_burst_key_base_ = profile_.startup.size() + profile_.finale.size();
+  cursors_.assign(burst_kinds, std::vector<Bytes>(profile_.files.size(), 0));
+}
+
+std::optional<Request> AppRequestGenerator::next() {
+  while (pending_pos_ >= pending_.size()) {
+    if (stage_ == Stage::kDone) return std::nullopt;
+    refill();
+  }
+  return pending_[pending_pos_++];
+}
+
+void AppRequestGenerator::refill() {
+  pending_.clear();
+  pending_pos_ = 0;
+  switch (stage_) {
+    case Stage::kStartup:
+      emit_edge_bursts(profile_.startup, edge_cpu_each_);
+      stage_ = Stage::kCycles;
+      next_cycle_ = 0;
+      break;
+    case Stage::kCycles:
+      if (next_cycle_ >= profile_.cycles) {
+        stage_ = Stage::kFinale;
+      } else {
+        emit_cycle(next_cycle_);
+        ++next_cycle_;
+      }
+      break;
+    case Stage::kFinale:
+      emit_edge_bursts(profile_.finale, edge_cpu_each_);
+      stage_ = Stage::kDone;
+      break;
+    case Stage::kDone:
+      break;
+  }
+}
+
+void AppRequestGenerator::emit_edge_bursts(const std::vector<EdgeBurst>& bursts,
+                                           Ticks cpu_budget) {
+  std::int64_t total_requests = 0;
+  for (const auto& b : bursts) total_requests += b.requests;
+  // No bursts: no budget was reserved for this edge (see the constructor).
+  if (total_requests == 0) return;
+  std::vector<Ticks> gaps;
+  make_gaps(total_requests, cpu_budget, gaps);
+  std::size_t gap_index = 0;
+  // Key offset: startup bursts come first in the cursor table, finale next.
+  const bool is_finale = (&bursts == &profile_.finale);
+  const std::size_t key_base = is_finale ? profile_.startup.size() : 0;
+  for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+    const EdgeBurst& burst = bursts[bi];
+    for (std::int64_t i = 0; i < burst.requests; ++i) {
+      const std::uint32_t file =
+          burst.files[static_cast<std::size_t>(i) % burst.files.size()];
+      Request req;
+      req.compute = gaps[gap_index++];
+      req.file = file + 1;  // trace-level ids are 1-based
+      req.length = burst.request_size;
+      req.offset = next_offset(key_base + bi, file, burst.request_size, i == 0);
+      req.write = burst.write;
+      req.async = false;
+      pending_.push_back(req);
+    }
+  }
+}
+
+void AppRequestGenerator::emit_cycle(std::int32_t cycle_index) {
+  // Which bursts fire this cycle?
+  std::vector<std::size_t> active;
+  std::int64_t total_requests = 0;
+  for (std::size_t bi = 0; bi < profile_.cycle.size(); ++bi) {
+    const CycleBurst& b = profile_.cycle[bi];
+    const bool fires = b.every_cycles <= 1 ||
+                       cycle_index % b.every_cycles == b.phase % b.every_cycles;
+    if (fires && b.requests > 0) {
+      active.push_back(bi);
+      total_requests += b.requests;
+    }
+  }
+  if (active.empty() || total_requests == 0) {
+    final_compute_ += cycle_cpu_;
+    return;
+  }
+
+  const auto burst_cpu_total = Ticks(static_cast<std::int64_t>(
+      static_cast<double>(cycle_cpu_.count()) * profile_.burst_cpu_fraction));
+  const Ticks think_cpu_total = cycle_cpu_ - burst_cpu_total;
+  const Ticks think_per_burst = think_cpu_total / static_cast<std::int64_t>(active.size());
+  Ticks think_remainder =
+      think_cpu_total - think_per_burst * static_cast<std::int64_t>(active.size());
+
+  Ticks burst_cpu_spent;
+  for (std::size_t ai = 0; ai < active.size(); ++ai) {
+    const CycleBurst& burst = profile_.cycle[active[ai]];
+    // This burst's share of the thin intra-burst CPU, proportional to its
+    // request count; the last active burst absorbs rounding.
+    Ticks share = (ai + 1 == active.size())
+                      ? burst_cpu_total - burst_cpu_spent
+                      : Ticks(static_cast<std::int64_t>(
+                            static_cast<double>(burst_cpu_total.count()) *
+                            static_cast<double>(burst.requests) /
+                            static_cast<double>(total_requests)));
+    burst_cpu_spent += share;
+    std::vector<Ticks> gaps;
+    make_gaps(burst.requests, share, gaps);
+
+    for (std::int64_t i = 0; i < burst.requests; ++i) {
+      const std::uint32_t file =
+          burst.files[static_cast<std::size_t>(i) % burst.files.size()];
+      Request req;
+      req.compute = gaps[static_cast<std::size_t>(i)];
+      if (i == 0) {
+        // The pure-compute phase precedes each burst.
+        req.compute += think_per_burst + (ai == 0 ? think_remainder : Ticks::zero());
+      }
+      req.file = file + 1;
+      req.length = burst.request_size;
+      req.offset = next_offset(cycle_burst_key_base_ + active[ai], file, burst.request_size,
+                               burst.rewind && i < static_cast<std::int64_t>(burst.files.size()));
+      req.write = burst.write;
+      req.async = burst.async;
+      pending_.push_back(req);
+    }
+  }
+}
+
+void AppRequestGenerator::make_gaps(std::int64_t count, Ticks total, std::vector<Ticks>& out) {
+  out.clear();
+  if (count <= 0) return;
+  out.reserve(static_cast<std::size_t>(count));
+  if (profile_.gap_jitter <= 0.0) {
+    const Ticks each = total / count;
+    Ticks used;
+    for (std::int64_t i = 0; i < count - 1; ++i) {
+      out.push_back(each);
+      used += each;
+    }
+    out.push_back(total - used);
+    return;
+  }
+  std::vector<double> weights(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (auto& w : weights) {
+    w = rng_.uniform_real(1.0 - profile_.gap_jitter, 1.0 + profile_.gap_jitter);
+    sum += w;
+  }
+  const double scale = static_cast<double>(total.count()) / sum;
+  Ticks used;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    const auto gap = Ticks(static_cast<std::int64_t>(weights[i] * scale));
+    out.push_back(gap);
+    used += gap;
+  }
+  out.push_back(total - used);  // exact total, last gap absorbs rounding
+}
+
+Bytes AppRequestGenerator::next_offset(std::size_t burst_key, std::uint32_t file,
+                                       Bytes request_size, bool rewind_now) {
+  Bytes& cursor = cursors_[burst_key][file];
+  if (rewind_now) cursor = 0;
+  const Bytes file_size = profile_.files[file].size;
+  // Wrap to the start when the next request would run past the end — the
+  // paper's programs re-sweep their data regions.
+  if (file_size > 0 && cursor + request_size > file_size && cursor != 0) cursor = 0;
+  const Bytes offset = cursor;
+  cursor += request_size;
+  return offset;
+}
+
+std::vector<Request> AppRequestGenerator::generate_all(const AppProfile& profile) {
+  AppRequestGenerator gen(profile);
+  std::vector<Request> out;
+  while (auto req = gen.next()) out.push_back(*req);
+  return out;
+}
+
+}  // namespace craysim::workload

@@ -1,0 +1,57 @@
+// Turns an AppProfile into a concrete request stream.
+//
+// CPU-budget model: a small edge fraction of the profile's CPU time is spent
+// around the startup/finale bursts; the rest is divided evenly over cycles.
+// Within a cycle, `burst_cpu_fraction` of the budget is spread thinly between
+// the requests of each burst, and the remainder forms the pure-compute phase
+// before each burst — producing the evenly spaced request-rate peaks of
+// Section 5.3. Gaps get multiplicative jitter but are renormalized so the
+// profile's total CPU time is reproduced to within one tick per segment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/profile.hpp"
+#include "workload/request.hpp"
+
+namespace craysim::workload {
+
+/// Streaming generator; deterministic for a given (profile, seed).
+class AppRequestGenerator final : public RequestSource {
+ public:
+  explicit AppRequestGenerator(AppProfile profile);
+
+  std::optional<Request> next() override;
+  [[nodiscard]] Ticks final_compute() const override { return final_compute_; }
+
+  [[nodiscard]] const AppProfile& profile() const { return profile_; }
+
+  /// Drains the whole stream into a vector (convenience for tests/benches).
+  [[nodiscard]] static std::vector<Request> generate_all(const AppProfile& profile);
+
+ private:
+  void refill();
+  void emit_edge_bursts(const std::vector<EdgeBurst>& bursts, Ticks cpu_budget);
+  void emit_cycle(std::int32_t cycle_index);
+  /// Appends `count` gap values summing to `total` with jitter.
+  void make_gaps(std::int64_t count, Ticks total, std::vector<Ticks>& out);
+  Bytes next_offset(std::size_t burst_key, std::uint32_t file, Bytes request_size, bool rewind_now);
+
+  AppProfile profile_;
+  Rng rng_;
+  std::vector<Request> pending_;
+  std::size_t pending_pos_ = 0;
+  std::int32_t next_cycle_ = 0;
+  enum class Stage { kStartup, kCycles, kFinale, kDone } stage_ = Stage::kStartup;
+  Ticks final_compute_;
+  Ticks edge_cpu_each_;
+  Ticks cycle_cpu_;
+  // Per (burst-id, file) sequential cursor. burst-id: startup/finale bursts
+  // and cycle bursts get distinct keys.
+  std::vector<std::vector<Bytes>> cursors_;
+  std::size_t cycle_burst_key_base_ = 0;
+};
+
+}  // namespace craysim::workload

@@ -1,0 +1,95 @@
+#include "workload/profile.hpp"
+
+#include "util/error.hpp"
+
+namespace craysim::workload {
+namespace {
+
+std::int64_t occurrences(const CycleBurst& burst, std::int32_t cycles) {
+  std::int64_t n = 0;
+  for (std::int32_t c = 0; c < cycles; ++c) {
+    if (burst.every_cycles <= 1 || c % burst.every_cycles == burst.phase % burst.every_cycles) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::int64_t AppProfile::total_requests() const {
+  std::int64_t total = 0;
+  for (const auto& burst : startup) total += burst.requests;
+  for (const auto& burst : finale) total += burst.requests;
+  for (const auto& burst : cycle) total += burst.requests * occurrences(burst, cycles);
+  return total;
+}
+
+Bytes AppProfile::total_bytes() const { return total_read_bytes() + total_write_bytes(); }
+
+Bytes AppProfile::total_read_bytes() const {
+  Bytes total = 0;
+  for (const auto& burst : startup) {
+    if (!burst.write) total += burst.requests * burst.request_size;
+  }
+  for (const auto& burst : finale) {
+    if (!burst.write) total += burst.requests * burst.request_size;
+  }
+  for (const auto& burst : cycle) {
+    if (!burst.write) total += burst.requests * burst.request_size * occurrences(burst, cycles);
+  }
+  return total;
+}
+
+Bytes AppProfile::total_write_bytes() const {
+  Bytes total = 0;
+  for (const auto& burst : startup) {
+    if (burst.write) total += burst.requests * burst.request_size;
+  }
+  for (const auto& burst : finale) {
+    if (burst.write) total += burst.requests * burst.request_size;
+  }
+  for (const auto& burst : cycle) {
+    if (burst.write) total += burst.requests * burst.request_size * occurrences(burst, cycles);
+  }
+  return total;
+}
+
+Bytes AppProfile::data_set_size() const {
+  Bytes total = 0;
+  for (const auto& f : files) total += f.size;
+  return total;
+}
+
+void AppProfile::validate() const {
+  if (cpu_time <= Ticks::zero()) throw ConfigError(name + ": cpu_time must be positive");
+  if (cycles < 1) throw ConfigError(name + ": cycles must be >= 1");
+  if (files.empty()) throw ConfigError(name + ": needs at least one file");
+  if (burst_cpu_fraction < 0.0 || burst_cpu_fraction > 1.0) {
+    throw ConfigError(name + ": burst_cpu_fraction out of [0,1]");
+  }
+  if (edge_cpu_fraction < 0.0 || edge_cpu_fraction >= 1.0) {
+    throw ConfigError(name + ": edge_cpu_fraction out of [0,1)");
+  }
+  if (gap_jitter < 0.0 || gap_jitter >= 1.0) {
+    throw ConfigError(name + ": gap_jitter out of [0,1)");
+  }
+  auto check_burst = [&](const std::vector<std::uint32_t>& file_idx, Bytes request_size,
+                         std::int64_t requests) {
+    if (file_idx.empty()) throw ConfigError(name + ": burst with no files");
+    for (auto f : file_idx) {
+      if (f >= files.size()) throw ConfigError(name + ": burst file index out of range");
+    }
+    if (request_size <= 0) throw ConfigError(name + ": non-positive request size");
+    if (requests < 0) throw ConfigError(name + ": negative request count");
+  };
+  for (const auto& b : startup) check_burst(b.files, b.request_size, b.requests);
+  for (const auto& b : finale) check_burst(b.files, b.request_size, b.requests);
+  for (const auto& b : cycle) {
+    check_burst(b.files, b.request_size, b.requests);
+    if (b.every_cycles < 1) throw ConfigError(name + ": every_cycles must be >= 1");
+  }
+  if (total_requests() == 0) throw ConfigError(name + ": profile performs no I/O");
+}
+
+}  // namespace craysim::workload

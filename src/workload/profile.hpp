@@ -1,0 +1,79 @@
+// Declarative description of a supercomputing application's I/O behaviour.
+//
+// Section 5 of the paper characterizes application I/O as (a) required
+// (compulsory) I/O at startup/shutdown, (b) periodic checkpoints, and
+// (c) per-iteration data swapping, with constant request sizes, high
+// sequentiality, and bursts that repeat every cycle. AppProfile captures
+// exactly those degrees of freedom; the seven traced applications are
+// calibrated instances (profiles.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace craysim::workload {
+
+/// A file the application touches.
+struct FileSpec {
+  std::string name;
+  Bytes size = 0;  ///< logical size (data-set contribution)
+};
+
+/// A batch of same-sized requests issued back-to-back at startup or finale.
+struct EdgeBurst {
+  std::vector<std::uint32_t> files;  ///< 0-based indices into AppProfile::files
+  bool write = false;
+  Bytes request_size = 0;
+  std::int64_t requests = 0;  ///< total, round-robined over `files`
+};
+
+/// A burst inside the per-iteration cycle.
+struct CycleBurst {
+  std::vector<std::uint32_t> files;  ///< interleaved round-robin over these
+  bool write = false;
+  bool async = false;
+  Bytes request_size = 0;
+  std::int64_t requests = 0;     ///< per occurrence, round-robined over `files`
+  std::int32_t every_cycles = 1; ///< occurs on cycles where cycle % every == phase
+  std::int32_t phase = 0;
+  bool rewind = true;            ///< restart file cursor each occurrence (paper: same
+                                 ///< sequence every cycle); false = keep streaming
+};
+
+/// Full application model.
+struct AppProfile {
+  std::string name;
+  std::string description;
+  Ticks cpu_time;                ///< total process CPU time (paper "Running time")
+  std::int32_t cycles = 1;       ///< iterations of the main loop
+  std::vector<FileSpec> files;
+  std::vector<EdgeBurst> startup;  ///< required reads before the loop
+  std::vector<EdgeBurst> finale;   ///< required writes after the loop
+  std::vector<CycleBurst> cycle;   ///< bursts per iteration, in order
+  /// Fraction of each cycle's CPU spent *inside* bursts (thin compute between
+  /// consecutive requests); the rest is the pure-compute phase between
+  /// bursts. Small values make I/O burstier (Figures 3/4).
+  double burst_cpu_fraction = 0.15;
+  /// CPU fraction consumed by startup+finale (split off the total).
+  double edge_cpu_fraction = 0.01;
+  /// Multiplicative jitter half-width on compute gaps (0.1 = +/-10%); gaps
+  /// are renormalized so per-cycle CPU stays exact.
+  double gap_jitter = 0.15;
+  std::uint64_t seed = 0x5eed;
+
+  /// Totals implied by the profile (used by calibration tests).
+  [[nodiscard]] std::int64_t total_requests() const;
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] Bytes total_read_bytes() const;
+  [[nodiscard]] Bytes total_write_bytes() const;
+  [[nodiscard]] Bytes data_set_size() const;
+
+  /// Throws ConfigError when indices are out of range, counts are negative,
+  /// or there is no I/O at all.
+  void validate() const;
+};
+
+}  // namespace craysim::workload

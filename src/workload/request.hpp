@@ -1,0 +1,42 @@
+// The request stream interface between workload models and consumers
+// (the trace synthesizer and the buffering simulator).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace craysim::workload {
+
+/// One application I/O request plus the CPU time the process computes before
+/// issuing it. This is exactly the information a logical trace record carries
+/// about application behaviour (everything else is machine response).
+struct Request {
+  Ticks compute;            ///< process CPU time consumed before this request
+  std::uint32_t file = 0;   ///< logical file id (1-based within an app)
+  Bytes offset = 0;
+  Bytes length = 0;
+  bool write = false;
+  bool async = false;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Pull-based request stream. Implementations: the synthetic application
+/// generator (workload/generator.hpp) and the trace replayer (sim/process.hpp).
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Next request, or nullopt when the application has finished. After
+  /// nullopt, final_compute() reports CPU the process still burns before
+  /// exiting (work after its last I/O).
+  virtual std::optional<Request> next() = 0;
+
+  /// CPU time consumed after the last I/O (valid once next() returned
+  /// nullopt). Default: none.
+  [[nodiscard]] virtual Ticks final_compute() const { return Ticks::zero(); }
+};
+
+}  // namespace craysim::workload

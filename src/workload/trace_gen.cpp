@@ -1,0 +1,53 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+
+#include "trace/record.hpp"
+#include "workload/generator.hpp"
+
+namespace craysim::workload {
+
+trace::Trace synthesize_trace(const AppProfile& profile, const TraceGenOptions& options) {
+  AppRequestGenerator gen(profile);
+  trace::Trace out;
+  out.reserve(static_cast<std::size_t>(profile.total_requests()));
+  Ticks wall = options.start_at;
+  std::uint32_t op_id = options.first_operation_id;
+  const double bytes_per_tick = options.device_mb_s * 1e6 / 100'000.0;
+
+  while (auto req = gen.next()) {
+    wall += req->compute;
+    trace::TraceRecord record;
+    record.record_type = trace::make_record_type(/*logical=*/true, req->write, req->async);
+    record.offset = req->offset;
+    record.length = req->length;
+    record.start_time = wall;
+    const auto transfer = Ticks(static_cast<std::int64_t>(
+        static_cast<double>(req->length) / bytes_per_tick));
+    record.completion_time = options.base_service + transfer;
+    record.operation_id = op_id++;
+    record.file_id = options.file_id_base + req->file;
+    record.process_id = options.process_id;
+    record.process_time = req->compute;
+    out.push_back(record);
+    // A synchronous process waits for completion; an asynchronous one only
+    // pays the submission cost and overlaps the transfer with compute.
+    wall += req->async ? options.async_submit : record.completion_time;
+  }
+  return out;
+}
+
+trace::Trace merge_traces(const std::vector<trace::Trace>& traces) {
+  trace::Trace merged;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  merged.reserve(total);
+  for (const auto& t : traces) merged.insert(merged.end(), t.begin(), t.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                     return a.start_time < b.start_time;
+                   });
+  return merged;
+}
+
+}  // namespace craysim::workload

@@ -1,0 +1,43 @@
+// Standalone trace synthesis: runs an AppProfile against a minimal device
+// timing model and emits records in the paper's trace format.
+//
+// This reproduces what the UNICOS library hooks captured: the process's own
+// compute gaps (processTime), the wall-clock start of each request, and how
+// long completion took. For full multi-process machine behaviour use the
+// simulator (sim/simulator.hpp), which replays these traces or generates
+// requests online.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/stream.hpp"
+#include "workload/profile.hpp"
+
+namespace craysim::workload {
+
+struct TraceGenOptions {
+  /// Fixed per-request service time (system call + file system code).
+  Ticks base_service = Ticks::from_us(300);
+  /// Device streaming bandwidth used for completion times.
+  double device_mb_s = 50.0;
+  /// Wall-clock cost of submitting an asynchronous request (process does
+  /// not wait for the data).
+  Ticks async_submit = Ticks::from_us(60);
+  std::uint32_t process_id = 100;
+  /// Trace file ids are profile file index + this base.
+  std::uint32_t file_id_base = 0;
+  /// Starting operation id (so merged traces keep ids unique).
+  std::uint32_t first_operation_id = 1;
+  /// Wall-clock time at which the process starts.
+  Ticks start_at = Ticks::zero();
+};
+
+/// Synthesizes the complete logical trace of one run of `profile`.
+[[nodiscard]] trace::Trace synthesize_trace(const AppProfile& profile,
+                                            const TraceGenOptions& options = {});
+
+/// Merges traces from several processes into one start-time-ordered trace
+/// (what procstat reconstruction yields for a multiprogrammed machine).
+[[nodiscard]] trace::Trace merge_traces(const std::vector<trace::Trace>& traces);
+
+}  // namespace craysim::workload

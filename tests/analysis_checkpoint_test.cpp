@@ -1,0 +1,89 @@
+// Checkpoint-interval model: exact expectation, Young's approximation, and
+// agreement with failure-injection simulation.
+#include "analysis/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace craysim::analysis {
+namespace {
+
+CheckpointModel model(double work_s = 7200, double cost_s = 20, double mtbf_s = 3600,
+                      double restart_s = 60) {
+  CheckpointModel m;
+  m.work = Ticks::from_seconds(work_s);
+  m.checkpoint_cost = Ticks::from_seconds(cost_s);
+  m.mtbf_seconds = mtbf_s;
+  m.restart_cost = Ticks::from_seconds(restart_s);
+  return m;
+}
+
+TEST(Checkpoint, RejectsBadInputs) {
+  EXPECT_THROW((void)expected_runtime_s(model(0), Ticks::from_seconds(60)), ConfigError);
+  EXPECT_THROW((void)expected_runtime_s(model(100, 10, 0), Ticks::from_seconds(60)), ConfigError);
+  EXPECT_THROW((void)expected_runtime_s(model(), Ticks::zero()), ConfigError);
+  EXPECT_THROW((void)optimal_interval(model(), Ticks::zero(), Ticks::from_seconds(10)),
+               ConfigError);
+}
+
+TEST(Checkpoint, NoFailuresLimit) {
+  // With an astronomically large MTBF the expected time approaches work +
+  // (segments - 1) * checkpoint cost.
+  const auto m = model(1000, 10, 1e12, 60);
+  const double expected = expected_runtime_s(m, Ticks::from_seconds(100));
+  EXPECT_NEAR(expected, 1000 + 9 * 10, 0.5);
+}
+
+TEST(Checkpoint, ExpectedRuntimeConvexInInterval) {
+  const auto m = model();
+  const double tiny = expected_runtime_s(m, Ticks::from_seconds(20));
+  const double mid = expected_runtime_s(m, youngs_interval(m));
+  const double huge = expected_runtime_s(m, Ticks::from_seconds(7200));
+  EXPECT_LT(mid, tiny);  // too-frequent checkpoints waste time
+  EXPECT_LT(mid, huge);  // too-rare checkpoints redo too much work
+}
+
+TEST(Checkpoint, YoungsApproximationNearGridOptimum) {
+  const auto m = model();
+  const Ticks young = youngs_interval(m);
+  EXPECT_NEAR(young.seconds(), std::sqrt(2.0 * 20 * 3600), 1.0);
+  const Ticks best = optimal_interval(m, Ticks::from_seconds(10), Ticks::from_seconds(7200),
+                                      128);
+  // Young's first-order formula lands within a factor ~2 of the optimum and
+  // the expected runtimes are within a couple of percent.
+  const double at_young = expected_runtime_s(m, young);
+  const double at_best = expected_runtime_s(m, best);
+  EXPECT_LT(at_young, at_best * 1.03);
+}
+
+TEST(Checkpoint, SimulationMatchesExpectation) {
+  const auto m = model(3600, 15, 1800, 30);
+  Rng rng(99);
+  for (const double interval_s : {120.0, 480.0, 1800.0}) {
+    const Ticks interval = Ticks::from_seconds(interval_s);
+    const double analytic = expected_runtime_s(m, interval);
+    const double simulated = simulate_runtime_s(m, interval, 3000, rng);
+    EXPECT_NEAR(simulated / analytic, 1.0, 0.08) << "interval " << interval_s;
+  }
+}
+
+TEST(Checkpoint, MoreFailuresMeanLongerRuns) {
+  const Ticks interval = Ticks::from_seconds(300);
+  const double reliable = expected_runtime_s(model(7200, 20, 86400), interval);
+  const double flaky = expected_runtime_s(model(7200, 20, 900), interval);
+  EXPECT_GT(flaky, reliable);
+  EXPECT_GE(reliable, 7200.0);
+}
+
+TEST(Checkpoint, RestartCostMatters) {
+  const Ticks interval = Ticks::from_seconds(300);
+  const double quick = expected_runtime_s(model(7200, 20, 1800, 0), interval);
+  const double slow = expected_runtime_s(model(7200, 20, 1800, 600), interval);
+  EXPECT_GT(slow, quick);
+}
+
+}  // namespace
+}  // namespace craysim::analysis

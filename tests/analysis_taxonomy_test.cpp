@@ -1,0 +1,63 @@
+// Section 5.1 taxonomy arithmetic and Amdahl metric.
+#include "analysis/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::analysis {
+namespace {
+
+TEST(Taxonomy, RequiredIoExample) {
+  // "reading 50 MB of configuration and initialization data and writing
+  //  100 MB of output, the overall I/O rate is only .75 MB/sec."
+  EXPECT_DOUBLE_EQ(
+      required_io_mb_s(Bytes{50} * kMB, Bytes{100} * kMB, Ticks::from_seconds(200)), 0.75);
+}
+
+TEST(Taxonomy, CheckpointExample) {
+  // "a program that saves 40 MB of state every 20 CPU seconds, the average
+  //  I/O rate is only 2 MB/sec."
+  EXPECT_DOUBLE_EQ(checkpoint_mb_s(Bytes{40} * kMB, Ticks::from_seconds(20)), 2.0);
+}
+
+TEST(Taxonomy, SwapExample) {
+  // "If each data point consists of 3 words and requires 200 floating-point
+  //  operations ... For a 200 MFLOP processor, the average sustained rate
+  //  will be almost 25 MB/sec."
+  EXPECT_DOUBLE_EQ(swap_mb_s(24.0, 200.0, 200.0), 24.0);
+}
+
+TEST(Taxonomy, AmdahlBalance) {
+  // 1 Mbit/s per MIPS is balanced: 25 MB/s = 200 Mbit/s on a 200 MIPS CPU.
+  EXPECT_DOUBLE_EQ(amdahl_ratio(25.0, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(amdahl_ratio(12.5, 200.0), 0.5);
+  EXPECT_EQ(amdahl_ratio(10.0, 0.0), 0.0);
+}
+
+TEST(Taxonomy, EdgeCases) {
+  EXPECT_EQ(required_io_mb_s(kMB, kMB, Ticks::zero()), 0.0);
+  EXPECT_EQ(swap_mb_s(24.0, 0.0, 200.0), 0.0);
+}
+
+TEST(Taxonomy, ClassifiesTracedApplications) {
+  auto class_of = [](workload::AppId app) {
+    const auto trace = workload::synthesize_trace(workload::make_profile(app));
+    return classify_io(trace::compute_stats(trace));
+  };
+  EXPECT_EQ(class_of(workload::AppId::kGcm), IoClass3::kRequiredOnly);
+  EXPECT_EQ(class_of(workload::AppId::kUpw), IoClass3::kRequiredOnly);
+  EXPECT_EQ(class_of(workload::AppId::kVenus), IoClass3::kDataSwapping);
+  EXPECT_EQ(class_of(workload::AppId::kForma), IoClass3::kDataSwapping);
+  EXPECT_EQ(class_of(workload::AppId::kBvi), IoClass3::kDataSwapping);
+}
+
+TEST(Taxonomy, Names) {
+  EXPECT_EQ(to_string(IoClass3::kRequiredOnly), "required-only");
+  EXPECT_EQ(to_string(IoClass3::kCheckpointing), "checkpoint-class");
+  EXPECT_EQ(to_string(IoClass3::kDataSwapping), "data-swapping");
+}
+
+}  // namespace
+}  // namespace craysim::analysis

@@ -1,0 +1,152 @@
+// Analysis toolkit: rate series, burstiness, pattern reports, table builders.
+#include <gtest/gtest.h>
+
+#include "analysis/patterns.hpp"
+#include "analysis/series.hpp"
+#include "analysis/tables.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::analysis {
+namespace {
+
+trace::TraceRecord io(std::uint32_t pid, Ticks start, Ticks ptime, Bytes length,
+                      bool write = false, std::uint32_t file = 1, Bytes offset = 0) {
+  trace::TraceRecord r;
+  r.record_type = trace::make_record_type(true, write, false);
+  r.process_id = pid;
+  r.file_id = file;
+  r.offset = offset;
+  r.length = length;
+  r.start_time = start;
+  r.completion_time = Ticks(10);
+  r.process_time = ptime;
+  return r;
+}
+
+TEST(Series, CpuTimeSeriesUsesProcessTimeAxis) {
+  // Two I/Os 10 CPU-seconds apart, regardless of wall-clock gaps.
+  std::vector<trace::TraceRecord> t = {
+      io(1, Ticks::from_seconds(100), Ticks::from_seconds(0.5), 1000),
+      io(1, Ticks::from_seconds(500), Ticks::from_seconds(10), 2000),
+  };
+  const BinnedSeries series = cpu_time_rate_series(t);
+  EXPECT_DOUBLE_EQ(series.bin(0), 1000.0);
+  EXPECT_DOUBLE_EQ(series.bin(10), 2000.0);
+}
+
+TEST(Series, CpuTimeSeriesKeepsProcessesIndependent) {
+  std::vector<trace::TraceRecord> t = {
+      io(1, Ticks(0), Ticks::from_seconds(0.5), 1000),
+      io(2, Ticks(0), Ticks::from_seconds(0.5), 3000),
+  };
+  const BinnedSeries series = cpu_time_rate_series(t);
+  EXPECT_DOUBLE_EQ(series.bin(0), 4000.0);  // both land in their own first CPU second
+}
+
+TEST(Series, WallTimeSeriesUsesStartTime) {
+  std::vector<trace::TraceRecord> t = {
+      io(1, Ticks::from_seconds(3), Ticks(1), 500),
+  };
+  const BinnedSeries series = wall_time_rate_series(t);
+  EXPECT_DOUBLE_EQ(series.bin(3), 500.0);
+}
+
+TEST(Series, DirectionFilter) {
+  std::vector<trace::TraceRecord> t = {
+      io(1, Ticks(0), Ticks(1), 100, /*write=*/false),
+      io(1, Ticks(0), Ticks(1), 900, /*write=*/true),
+  };
+  EXPECT_DOUBLE_EQ(wall_time_rate_series(t, Ticks::from_seconds(1), Direction::kReads).total(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(wall_time_rate_series(t, Ticks::from_seconds(1), Direction::kWrites).total(),
+                   900.0);
+  EXPECT_DOUBLE_EQ(wall_time_rate_series(t, Ticks::from_seconds(1), Direction::kBoth).total(),
+                   1000.0);
+}
+
+TEST(Series, IgnoresMetadataAndPhysical) {
+  auto meta = io(1, Ticks(0), Ticks(1), 100);
+  meta.record_type = trace::make_record_type(true, false, false, trace::DataClass::kMetaData);
+  auto phys = io(1, Ticks(0), Ticks(1), 100);
+  phys.record_type = trace::make_record_type(false, false, false);
+  std::vector<trace::TraceRecord> t = {meta, phys};
+  EXPECT_EQ(wall_time_rate_series(t).total(), 0.0);
+}
+
+TEST(PeakToMean, KnownSeries) {
+  const std::vector<double> series = {0, 0, 10, 2, 0, 0};  // active span: {10, 2}
+  EXPECT_NEAR(peak_to_mean(series), 10.0 / 6.0, 1e-9);
+  EXPECT_EQ(peak_to_mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(peak_to_mean(std::vector<double>{0, 0}), 0.0);
+}
+
+TEST(Patterns, DominantSizesPerDirection) {
+  std::vector<trace::TraceRecord> t;
+  Ticks time(0);
+  Bytes read_cursor = 0;
+  Bytes write_cursor = 0;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back(io(1, time, Ticks(100), 4096, false, 1, read_cursor));
+    read_cursor += 4096;
+    time += Ticks(10);
+    t.push_back(io(1, time, Ticks(100), 8192, true, 1, write_cursor));
+    write_cursor += 8192;
+    time += Ticks(10);
+  }
+  const auto report = analyze_patterns(t);
+  const auto& fp = report.files.at(1);
+  EXPECT_EQ(fp.dominant_read_size, 4096);
+  EXPECT_EQ(fp.dominant_write_size, 8192);
+  EXPECT_DOUBLE_EQ(fp.dominant_share, 1.0);
+  EXPECT_DOUBLE_EQ(report.constant_size_share, 1.0);
+}
+
+TEST(Patterns, SequentialFractionReported) {
+  std::vector<trace::TraceRecord> t;
+  Ticks time(0);
+  for (int i = 0; i < 10; ++i) {
+    t.push_back(io(1, time, Ticks(100), 1000, false, 1, Bytes{i} * 1000));
+    time += Ticks(10);
+  }
+  const auto report = analyze_patterns(t);
+  EXPECT_NEAR(report.sequential_fraction, 0.9, 1e-9);  // 9 of 10 sequential
+}
+
+TEST(Patterns, DetectsCyclicBursts) {
+  const auto trace =
+      workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus));
+  const auto report = analyze_patterns(trace);
+  EXPECT_GT(report.cycle_seconds, 0.5);
+  EXPECT_LT(report.cycle_seconds, 4.0);
+  EXPECT_GT(report.cycle_strength, 0.5);
+}
+
+TEST(Patterns, RenderMentionsFiles) {
+  const std::vector<trace::TraceRecord> t = {io(1, Ticks(0), Ticks(1), 100)};
+  const auto text = analyze_patterns(t).render();
+  EXPECT_NE(text.find("file"), std::string::npos);
+  EXPECT_NE(text.find("read-only"), std::string::npos);
+}
+
+TEST(Tables, Table1HasRowPerApp) {
+  std::vector<AppMeasurement> ms;
+  for (const auto app : workload::all_apps()) {
+    const auto trace = workload::synthesize_trace(workload::make_profile(app));
+    ms.push_back({app, trace::compute_stats(trace)});
+  }
+  const auto t1 = build_table1(ms);
+  const auto t2 = build_table2(ms);
+  EXPECT_EQ(t1.num_rows(), workload::all_apps().size());
+  EXPECT_EQ(t2.num_rows(), workload::all_apps().size());
+  EXPECT_NE(t1.render().find("venus"), std::string::npos);
+  EXPECT_NE(t2.render().find("forma"), std::string::npos);
+}
+
+TEST(Tables, PaperVsFormatsDelta) {
+  EXPECT_EQ(paper_vs(100.0, 110.0, 0), "100 / 110 (+10%)");
+  EXPECT_EQ(paper_vs(0.0, 5.0, 0), "0 / 5");
+}
+
+}  // namespace
+}  // namespace craysim::analysis

@@ -1,0 +1,212 @@
+// Cross-module edge cases: boundary values in the codec, zero-length and
+// huge requests, generator corner configurations, end-of-run draining.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/binary.hpp"
+#include "trace/codec.hpp"
+#include "trace/stream.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim {
+namespace {
+
+trace::TraceRecord basic_record(Bytes offset, Bytes length, Ticks start) {
+  trace::TraceRecord r;
+  r.record_type = trace::make_record_type(true, false, false);
+  r.process_id = 1;
+  r.file_id = 1;
+  r.operation_id = 1;
+  r.offset = offset;
+  r.length = length;
+  r.start_time = start;
+  r.completion_time = Ticks(1);
+  r.process_time = Ticks(1);
+  return r;
+}
+
+// ------------------------------------------------------------- codec ------
+
+TEST(EdgeCodec, ZeroLengthRecordRoundTrips) {
+  trace::AsciiTraceEncoder encoder;
+  trace::AsciiTraceDecoder decoder;
+  const auto r = basic_record(0, 0, Ticks(0));
+  const auto decoded = decoder.decode_line(encoder.encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST(EdgeCodec, OffsetExactlyOneBlock) {
+  trace::AsciiTraceEncoder encoder;
+  trace::AsciiTraceDecoder decoder;
+  const auto r = basic_record(512, 512, Ticks(5));
+  const auto line = encoder.encode(r);
+  const auto decoded = decoder.decode_line(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->offset, 512);
+  EXPECT_EQ(decoded->length, 512);
+}
+
+TEST(EdgeCodec, HugeOffsetsSurvive) {
+  trace::AsciiTraceEncoder encoder;
+  trace::AsciiTraceDecoder decoder;
+  const auto r = basic_record(Bytes{200} * kGiB, Bytes{1} * kGiB, Ticks(1));
+  const auto decoded = decoder.decode_line(encoder.encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->offset, Bytes{200} * kGiB);
+}
+
+TEST(EdgeCodec, AnnotationFlagsSurviveWire) {
+  trace::AsciiTraceEncoder encoder;
+  trace::AsciiTraceDecoder decoder;
+  auto r = basic_record(0, 100, Ticks(0));
+  r.record_type = trace::make_record_type(true, false, true, trace::DataClass::kFileData,
+                                          /*cache_miss=*/false, /*readahead_hit=*/true);
+  const auto decoded = decoder.decode_line(encoder.encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->readahead_hit_annotation());
+  EXPECT_FALSE(decoded->cache_miss_annotation());
+  EXPECT_TRUE(decoded->is_async());
+}
+
+TEST(EdgeCodec, CommentOnlyTraceParsesEmpty) {
+  EXPECT_TRUE(trace::parse_trace("255 one\n255 two\n\n").empty());
+}
+
+TEST(EdgeCodec, GarbageBytesThrowNotCrash) {
+  for (const char* junk : {"-1 0 0 0 0 0 0 0 0 0", "128 0 x", "128", "65535 0",
+                           "128 4 0 0 0 1 1 1 0"}) {
+    trace::AsciiTraceDecoder decoder;
+    EXPECT_THROW((void)decoder.decode_line(junk), TraceFormatError) << junk;
+  }
+}
+
+TEST(EdgeCodec, BinaryGarbageThrowsNotCrash) {
+  std::vector<std::byte> junk(23, std::byte{0xfe});
+  EXPECT_THROW((void)trace::decode_binary(junk), TraceFormatError);
+}
+
+// --------------------------------------------------------- generator ------
+
+TEST(EdgeGenerator, SingleCycleSingleRequest) {
+  workload::AppProfile p;
+  p.name = "tiny";
+  p.cpu_time = Ticks::from_seconds(1);
+  p.cycles = 1;
+  p.files = {{"f", 1000}};
+  p.cycle.push_back({{0}, false, false, 100, 1});
+  const auto requests = workload::AppRequestGenerator::generate_all(p);
+  ASSERT_EQ(requests.size(), 1u);
+  // All CPU is attached to the single request (plus the final remainder).
+  workload::AppRequestGenerator gen(p);
+  Ticks total;
+  while (auto r = gen.next()) total += r->compute;
+  EXPECT_EQ(total + gen.final_compute(), p.cpu_time);
+}
+
+TEST(EdgeGenerator, ManyCyclesFewRequests) {
+  workload::AppProfile p;
+  p.name = "sparse";
+  p.cpu_time = Ticks::from_seconds(100);
+  p.cycles = 1000;
+  p.files = {{"f", Bytes{1} * kMB}};
+  p.cycle.push_back({{0}, true, false, 512, 1});
+  const auto requests = workload::AppRequestGenerator::generate_all(p);
+  EXPECT_EQ(requests.size(), 1000u);
+}
+
+TEST(EdgeGenerator, RequestBiggerThanFileWorks) {
+  workload::AppProfile p;
+  p.name = "overshoot";
+  p.cpu_time = Ticks::from_seconds(1);
+  p.cycles = 2;
+  p.files = {{"small", 100}};
+  p.cycle.push_back({{0}, false, false, 4096, 3});
+  const auto requests = workload::AppRequestGenerator::generate_all(p);
+  for (const auto& r : requests) EXPECT_EQ(r.offset, 0);  // always wraps to 0
+}
+
+// ------------------------------------------------------------- sim --------
+
+TEST(EdgeSim, DirtyDataDrainsAfterLastProcess) {
+  // A pure writer that finishes immediately: the flusher must still push
+  // everything to disk before run() returns.
+  struct OneWrite final : workload::RequestSource {
+    bool done = false;
+    std::optional<workload::Request> next() override {
+      if (done) return std::nullopt;
+      done = true;
+      workload::Request r;
+      r.compute = Ticks(10);
+      r.file = 1;
+      r.length = 256 * kKiB;
+      r.write = true;
+      return r;
+    }
+  };
+  sim::Simulator s(sim::SimParams::paper_ssd(Bytes{16} * kMB));
+  s.add_process("w", std::make_unique<OneWrite>());
+  const auto result = s.run();
+  EXPECT_EQ(result.disk.bytes_written, 256 * kKiB);
+}
+
+TEST(EdgeSim, ZeroLengthRequestIsHarmless) {
+  struct ZeroRead final : workload::RequestSource {
+    bool done = false;
+    std::optional<workload::Request> next() override {
+      if (done) return std::nullopt;
+      done = true;
+      workload::Request r;
+      r.compute = Ticks(10);
+      r.file = 1;
+      r.length = 0;
+      return r;
+    }
+  };
+  sim::Simulator s(sim::SimParams::paper_ssd(Bytes{16} * kMB));
+  s.add_process("z", std::make_unique<ZeroRead>());
+  const auto result = s.run();
+  EXPECT_EQ(result.processes[0].io_count, 1);
+}
+
+TEST(EdgeSim, SpaceWaitResolvesEndToEnd) {
+  // Cache far smaller than the dirty burst: the writer must stall for space
+  // and still complete (flushes free blocks, waiters retry).
+  struct BigWriter final : workload::RequestSource {
+    int issued = 0;
+    std::optional<workload::Request> next() override {
+      if (issued >= 64) return std::nullopt;
+      workload::Request r;
+      r.compute = Ticks(1);  // essentially back-to-back
+      r.file = 1;
+      r.offset = Bytes{issued} * 512 * kKiB;
+      r.length = 512 * kKiB;
+      r.write = true;
+      ++issued;
+      return r;
+    }
+  };
+  sim::SimParams params = sim::SimParams::paper_ssd(Bytes{2} * kMB);
+  sim::Simulator s(params);
+  s.add_process("big", std::make_unique<BigWriter>());
+  const auto result = s.run();
+  EXPECT_EQ(result.processes[0].io_count, 64);
+  EXPECT_EQ(result.disk.bytes_written, Bytes{64} * 512 * kKiB);
+  EXPECT_GT(result.cache.space_waits, 0);
+}
+
+TEST(EdgeSim, ManyProcessesOnOneCpuAllFinish) {
+  sim::Simulator s(sim::SimParams::paper_ssd(Bytes{64} * kMB));
+  for (int i = 0; i < 12; ++i) {
+    s.add_app(workload::make_typical_batch_job(i));
+  }
+  const auto result = s.run();
+  EXPECT_EQ(result.processes.size(), 12u);
+  for (const auto& p : result.processes) EXPECT_GT(p.finish_time, Ticks::zero());
+}
+
+}  // namespace
+}  // namespace craysim

@@ -1,0 +1,129 @@
+// Logical -> physical trace expansion invariants.
+#include "fs/physical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/stats.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::fs {
+namespace {
+
+trace::Trace tiny_logical_trace() {
+  trace::Trace t;
+  Ticks time(0);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    trace::TraceRecord r;
+    r.record_type = trace::make_record_type(true, i % 3 == 0, false);
+    r.process_id = 1;
+    r.file_id = 1 + i % 2;
+    r.operation_id = i + 1;
+    r.offset = Bytes{i / 2} * 100'000;
+    r.length = 100'000;
+    r.start_time = time;
+    r.completion_time = Ticks(50);
+    r.process_time = Ticks(500);
+    t.push_back(r);
+    time += Ticks(1000);
+  }
+  return t;
+}
+
+TEST(Expansion, EveryLogicalRecordKept) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  const auto logical = tiny_logical_trace();
+  const auto result = expand_to_physical(logical, fs);
+  std::size_t logical_count = 0;
+  for (const auto& r : result.combined) {
+    if (r.is_logical()) ++logical_count;
+  }
+  EXPECT_EQ(logical_count, logical.size());
+}
+
+TEST(Expansion, PhysicalBytesCoverLogicalBytes) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  const auto logical = tiny_logical_trace();
+  const auto result = expand_to_physical(logical, fs);
+  Bytes logical_bytes = 0;
+  for (const auto& r : logical) logical_bytes += r.length;
+  // Physical I/O is block-rounded, so it covers at least the logical bytes
+  // and at most one extra block per logical request.
+  EXPECT_GE(result.physical_bytes, logical_bytes);
+  EXPECT_LE(result.physical_bytes,
+            logical_bytes + static_cast<Bytes>(logical.size()) * 2 * fs.block_size());
+}
+
+TEST(Expansion, OperationIdsAssociateLogicalAndPhysical) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  const auto logical = tiny_logical_trace();
+  const auto result = expand_to_physical(logical, fs);
+  // Every physical record's operation id must belong to some logical record.
+  std::set<std::uint32_t> logical_ops;
+  for (const auto& r : logical) logical_ops.insert(r.operation_id);
+  for (const auto& r : result.combined) {
+    if (!r.is_logical()) {
+      EXPECT_TRUE(logical_ops.contains(r.operation_id));
+    }
+  }
+}
+
+TEST(Expansion, PhysicalRecordsUseDiskFileIds) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  ExpansionOptions options;
+  const auto result = expand_to_physical(tiny_logical_trace(), fs, options);
+  for (const auto& r : result.combined) {
+    if (r.is_logical()) continue;
+    EXPECT_GE(r.file_id, options.disk_file_id_base);
+    EXPECT_LT(r.file_id, options.disk_file_id_base + fs.layout().disk_count());
+    EXPECT_EQ(r.process_id, options.system_process_id);
+  }
+}
+
+TEST(Expansion, MetadataEmittedPerNewExtent) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  const auto result = expand_to_physical(tiny_logical_trace(), fs);
+  std::size_t total_extents = 0;
+  for (std::uint32_t file = 1; file <= fs.file_count(); ++file) {
+    total_extents += fs.extent_count(file);
+  }
+  EXPECT_EQ(static_cast<std::size_t>(result.metadata_records), total_extents);
+}
+
+TEST(Expansion, MetadataCanBeDisabled) {
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  ExpansionOptions options;
+  options.emit_metadata = false;
+  const auto result = expand_to_physical(tiny_logical_trace(), fs, options);
+  EXPECT_EQ(result.metadata_records, 0);
+  for (const auto& r : result.combined) {
+    EXPECT_NE(r.data_class(), trace::DataClass::kMetaData);
+  }
+}
+
+TEST(Expansion, CombinedTraceSerializes) {
+  // The expanded trace must survive the wire format (physical records use
+  // block-divisible offsets, exercising the IN_BLOCKS compression flags).
+  FileSystem fs(DiskLayout::uniform(4, Bytes{64} * kMiB));
+  const auto result = expand_to_physical(tiny_logical_trace(), fs);
+  const std::string text = trace::serialize_trace(result.combined);
+  EXPECT_EQ(trace::parse_trace(text), result.combined);
+}
+
+TEST(Expansion, WholeAppTraceExpands) {
+  FileSystem fs(DiskLayout::nasa_ames_default());
+  const auto logical =
+      workload::synthesize_trace(workload::make_profile(workload::AppId::kCcm));
+  const auto result = expand_to_physical(logical, fs);
+  EXPECT_GT(result.physical_records, static_cast<std::int64_t>(logical.size()) / 2);
+  // Logical stats must be unchanged by the interleaved physical records.
+  const auto before = trace::compute_stats(logical);
+  const auto after = trace::compute_stats(result.combined);
+  EXPECT_EQ(before.io_count, after.io_count);
+  EXPECT_EQ(before.total_bytes(), after.total_bytes());
+}
+
+}  // namespace
+}  // namespace craysim::fs

@@ -1,0 +1,185 @@
+// File-system substrate: layout, extent allocation, translation, freeing.
+#include "fs/file_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/layout.hpp"
+#include "util/error.hpp"
+
+namespace craysim::fs {
+namespace {
+
+FileSystem small_fs(PlacementPolicy policy = PlacementPolicy::kFileAffinity) {
+  FsOptions options;
+  options.placement = policy;
+  options.extent_size = 64 * kKiB;
+  return FileSystem(DiskLayout::uniform(4, Bytes{4} * kMiB, 4 * kKiB), options);
+}
+
+TEST(DiskLayout, UniformBasics) {
+  const auto layout = DiskLayout::uniform(3, Bytes{10} * kMiB);
+  EXPECT_EQ(layout.disk_count(), 3u);
+  EXPECT_EQ(layout.total_capacity(), Bytes{30} * kMiB);
+  EXPECT_EQ(layout.disks[0].num_blocks(), Bytes{10} * kMiB / (4 * kKiB));
+}
+
+TEST(DiskLayout, NasaDefaultMatchesPaperAggregate) {
+  const auto layout = DiskLayout::nasa_ames_default();
+  // "totalling 35.2 GB"
+  EXPECT_NEAR(static_cast<double>(layout.total_capacity()) / 1e9, 35.2, 0.3);
+}
+
+TEST(DiskLayout, RejectsBadGeometry) {
+  EXPECT_THROW((void)DiskLayout::uniform(0, kMiB), ConfigError);
+  EXPECT_THROW((void)DiskLayout::uniform(1, 0), ConfigError);
+  EXPECT_THROW((void)DiskLayout::uniform(1, 100, 4096), ConfigError);
+}
+
+TEST(FileSystem, CreateAndLookup) {
+  auto fs = small_fs();
+  const FileId a = fs.create("a");
+  const FileId b = fs.create("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fs.lookup("a"), a);
+  EXPECT_EQ(fs.lookup("nope"), std::nullopt);
+  EXPECT_EQ(fs.file_count(), 2u);
+}
+
+TEST(FileSystem, DuplicateNameThrows) {
+  auto fs = small_fs();
+  (void)fs.create("x");
+  EXPECT_THROW((void)fs.create("x"), FsError);
+}
+
+TEST(FileSystem, UnknownFileThrows) {
+  auto fs = small_fs();
+  EXPECT_THROW((void)fs.inode(42), FsError);
+  EXPECT_THROW(fs.ensure_allocated(42, 0, 100), FsError);
+  EXPECT_THROW(fs.remove(42), FsError);
+}
+
+TEST(FileSystem, AllocationGrowsByExtents) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, 100);
+  EXPECT_EQ(fs.extent_count(f), 1u);  // one 64 KiB extent
+  fs.ensure_allocated(f, 0, 64 * kKiB + 1);
+  EXPECT_EQ(fs.extent_count(f), 2u);
+  EXPECT_EQ(fs.inode(f).size, 64 * kKiB + 1);
+}
+
+TEST(FileSystem, NegativeRangeThrows) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  EXPECT_THROW(fs.ensure_allocated(f, -1, 10), FsError);
+  EXPECT_THROW(fs.ensure_allocated(f, 0, -10), FsError);
+}
+
+TEST(FileSystem, TranslateCoversRequestExactly) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  const auto ranges = fs.translate(f, 5000, 200'000);
+  ASSERT_FALSE(ranges.empty());
+  Bytes covered = 0;
+  for (const auto& r : ranges) covered += r.block_count * fs.block_size();
+  // Widened to block boundaries: [4096, 208896) = 204800 bytes.
+  EXPECT_EQ(covered, 204'800);
+}
+
+TEST(FileSystem, TranslateZeroLengthIsEmpty) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  EXPECT_TRUE(fs.translate(f, 0, 0).empty());
+}
+
+TEST(FileSystem, TranslateMergesPhysicallyContiguousRanges) {
+  auto fs = small_fs(PlacementPolicy::kFirstFit);
+  const FileId f = fs.create("f");
+  // First-fit on one file: consecutive extents land back to back on disk 0,
+  // so a multi-extent read should merge into a single physical range.
+  const auto ranges = fs.translate(f, 0, 200 * kKiB);  // spans 4 extents
+  EXPECT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].disk, 0u);
+}
+
+TEST(FileSystem, RoundRobinSpreadsExtentsOverDisks) {
+  auto fs = small_fs(PlacementPolicy::kRoundRobin);
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, 256 * kKiB);  // 4 extents
+  const auto& extents = fs.inode(f).extents;
+  ASSERT_EQ(extents.size(), 4u);
+  EXPECT_NE(extents[0].disk, extents[1].disk);
+}
+
+TEST(FileSystem, FileAffinityKeepsOneFileTogether) {
+  auto fs = small_fs(PlacementPolicy::kFileAffinity);
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, 256 * kKiB);
+  const auto& extents = fs.inode(f).extents;
+  for (const auto& e : extents) EXPECT_EQ(e.disk, extents[0].disk);
+}
+
+TEST(FileSystem, AccountingFreeUsed) {
+  auto fs = small_fs();
+  const Bytes total = fs.layout().total_capacity();
+  EXPECT_EQ(fs.free_bytes(), total);
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, 128 * kKiB);
+  EXPECT_EQ(fs.used_bytes(), 128 * kKiB);
+  EXPECT_EQ(fs.free_bytes(), total - 128 * kKiB);
+}
+
+TEST(FileSystem, RemoveFreesAndCoalesces) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, Bytes{1} * kMiB);
+  fs.remove(f);
+  EXPECT_EQ(fs.free_bytes(), fs.layout().total_capacity());
+  EXPECT_EQ(fs.lookup("f"), std::nullopt);
+  // The space must be reusable as one contiguous run again.
+  const FileId g = fs.create("g");
+  fs.ensure_allocated(g, 0, Bytes{2} * kMiB);
+  EXPECT_EQ(fs.extent_count(g), 32u);
+}
+
+TEST(FileSystem, FullFarmThrows) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  EXPECT_THROW(fs.ensure_allocated(f, 0, Bytes{17} * kMiB), FsError);
+}
+
+TEST(FileSystem, FillExactlyToCapacity) {
+  auto fs = small_fs();
+  const FileId f = fs.create("f");
+  fs.ensure_allocated(f, 0, Bytes{16} * kMiB);  // exactly 4 x 4 MiB
+  EXPECT_EQ(fs.free_bytes(), 0);
+}
+
+TEST(FileSystem, MixedBlockSizesRejected) {
+  DiskLayout layout = DiskLayout::uniform(2, Bytes{1} * kMiB);
+  layout.disks[1].block_size = 8 * kKiB;
+  EXPECT_THROW((void)FileSystem{layout}, ConfigError);
+}
+
+TEST(FileSystem, ExtentSizeMustBeBlockMultiple) {
+  FsOptions options;
+  options.extent_size = 5000;
+  EXPECT_THROW((FileSystem{DiskLayout::uniform(1, kMiB), options}), ConfigError);
+}
+
+TEST(FileSystem, TranslateDisjointFilesDontOverlap) {
+  auto fs = small_fs(PlacementPolicy::kFirstFit);
+  const FileId a = fs.create("a");
+  const FileId b = fs.create("b");
+  const auto ra = fs.translate(a, 0, 64 * kKiB);
+  const auto rb = fs.translate(b, 0, 64 * kKiB);
+  ASSERT_EQ(ra.size(), 1u);
+  ASSERT_EQ(rb.size(), 1u);
+  const bool overlap = ra[0].disk == rb[0].disk &&
+                       ra[0].start_block < rb[0].start_block + rb[0].block_count &&
+                       rb[0].start_block < ra[0].start_block + ra[0].block_count;
+  EXPECT_FALSE(overlap);
+}
+
+}  // namespace
+}  // namespace craysim::fs

@@ -1,0 +1,123 @@
+// Mass Storage System substrate: cartridge packing, mount/position/transfer
+// latency accounting, drive pool queueing, nearline vs offline.
+#include "mss/mss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace craysim::mss {
+namespace {
+
+TEST(Mss, RejectsBadConfig) {
+  TapeParams p;
+  p.drives = 0;
+  EXPECT_THROW(MassStorageSystem{p}, ConfigError);
+  p = TapeParams{};
+  p.bandwidth_mb_s = 0;
+  EXPECT_THROW(MassStorageSystem{p}, ConfigError);
+}
+
+TEST(Mss, ArchivePacksCartridges) {
+  MassStorageSystem mss;
+  const auto a = mss.archive("a", Bytes{120} * kMB);
+  const auto b = mss.archive("b", Bytes{60} * kMB);
+  const auto c = mss.archive("c", Bytes{60} * kMB);  // does not fit tape 0
+  EXPECT_EQ(mss.info(a).tape, mss.info(b).tape);
+  EXPECT_NE(mss.info(a).tape, mss.info(c).tape);
+  EXPECT_EQ(mss.cartridge_count(), 2u);
+  EXPECT_EQ(mss.info(b).offset, Bytes{120} * kMB);
+}
+
+TEST(Mss, ArchiveValidation) {
+  MassStorageSystem mss;
+  EXPECT_THROW((void)mss.archive("x", 0), ConfigError);
+  EXPECT_THROW((void)mss.archive("x", Bytes{300} * kMB), ConfigError);
+  (void)mss.archive("x", kMB);
+  EXPECT_THROW((void)mss.archive("x", kMB), ConfigError);
+  EXPECT_EQ(mss.lookup("x").has_value(), true);
+  EXPECT_EQ(mss.lookup("y"), std::nullopt);
+  EXPECT_THROW((void)mss.info(99), ConfigError);
+}
+
+TEST(Mss, ColdStageLatencyComposition) {
+  TapeParams p;
+  p.robot_mount = Ticks::from_seconds(25);
+  p.bandwidth_mb_s = 2.0;
+  p.position_mb_per_s = 60.0;
+  MassStorageSystem mss(p);
+  (void)mss.archive("first", Bytes{120} * kMB);
+  const auto second = mss.archive("second", Bytes{60} * kMB);
+  // mount 25 s + position 120/60=2 s + transfer 60/2=30 s.
+  EXPECT_NEAR(mss.cold_stage_latency(second).seconds(), 25 + 2 + 30, 0.01);
+}
+
+TEST(Mss, StageReusesLoadedCartridge) {
+  MassStorageSystem mss;
+  const auto a = mss.archive("a", Bytes{50} * kMB);
+  const auto b = mss.archive("b", Bytes{50} * kMB);  // same cartridge
+  const Ticks t1 = mss.stage(Ticks::zero(), a);
+  const Ticks t2 = mss.stage(t1, b);
+  EXPECT_EQ(mss.stats().robot_mounts, 1);
+  EXPECT_EQ(mss.stats().already_loaded, 1);
+  // Second stage pays no mount: position + transfer only.
+  TapeParams p;
+  EXPECT_LT((t2 - t1).seconds(),
+            mss.cold_stage_latency(b).seconds() - p.robot_mount.seconds() + 0.01);
+}
+
+TEST(Mss, OfflineNeedsOperator) {
+  MassStorageSystem mss;
+  const auto vault = mss.archive("vault", Bytes{50} * kMB, /*nearline=*/false);
+  const auto robot = mss.archive("robot", Bytes{50} * kMB, /*nearline=*/true);
+  // Different cartridge classes never share a cartridge.
+  EXPECT_NE(mss.info(vault).tape, mss.info(robot).tape);
+  const Ticks offline = mss.cold_stage_latency(vault);
+  const Ticks nearline = mss.cold_stage_latency(robot);
+  EXPECT_GT((offline - nearline).seconds(), 400.0);  // operator_fetch dominates
+  (void)mss.stage(Ticks::zero(), vault);
+  EXPECT_EQ(mss.stats().operator_mounts, 1);
+}
+
+TEST(Mss, DrivePoolQueues) {
+  TapeParams p;
+  p.drives = 1;
+  MassStorageSystem mss(p);
+  const auto a = mss.archive("a", Bytes{100} * kMB);
+  // File b forced onto another cartridge.
+  (void)mss.archive("pad", Bytes{100} * kMB);
+  const auto b = mss.archive("b", Bytes{100} * kMB);
+  ASSERT_NE(mss.info(a).tape, mss.info(b).tape);
+  const Ticks t1 = mss.stage(Ticks::zero(), a);
+  (void)t1;
+  // Request b immediately: must wait for the single drive.
+  const Ticks t2 = mss.stage(Ticks::zero(), b);
+  EXPECT_GT(mss.stats().drive_queue_wait, Ticks::zero());
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Mss, TwoDrivesOverlap) {
+  TapeParams p;
+  p.drives = 2;
+  MassStorageSystem mss(p);
+  const auto a = mss.archive("a", Bytes{100} * kMB);
+  (void)mss.archive("pad", Bytes{100} * kMB);
+  const auto b = mss.archive("b", Bytes{100} * kMB);
+  const Ticks t1 = mss.stage(Ticks::zero(), a);
+  const Ticks t2 = mss.stage(Ticks::zero(), b);
+  EXPECT_EQ(mss.stats().drive_queue_wait, Ticks::zero());
+  // Both complete around the same time (parallel drives).
+  EXPECT_LT((t2 - t1).seconds(), 5.0);
+}
+
+TEST(Mss, StatsAccumulate) {
+  MassStorageSystem mss;
+  const auto a = mss.archive("a", Bytes{10} * kMB);
+  (void)mss.stage(Ticks::zero(), a);
+  (void)mss.stage(Ticks::from_seconds(100), a);
+  EXPECT_EQ(mss.stats().stage_requests, 2);
+  EXPECT_EQ(mss.stats().bytes_staged, Bytes{20} * kMB);
+}
+
+}  // namespace
+}  // namespace craysim::mss

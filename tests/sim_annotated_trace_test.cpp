@@ -1,0 +1,97 @@
+// The simulator's annotated-trace output: the appendix's analysis-only
+// TRACE_CACHE_HIT/MISS and TRACE_RA_HIT flags, emitted for every logical
+// request when SimParams::record_trace is set.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/stats.hpp"
+#include "trace/stream.hpp"
+#include "workload/profiles.hpp"
+#include "workload/request.hpp"
+
+namespace craysim::sim {
+namespace {
+
+class TwoReads final : public workload::RequestSource {
+ public:
+  std::optional<workload::Request> next() override {
+    if (issued_ >= 2) return std::nullopt;
+    workload::Request r;
+    r.compute = Ticks::from_ms(10);
+    r.file = 1;
+    r.offset = 0;
+    r.length = 64 * kKiB;
+    ++issued_;
+    return r;
+  }
+
+ private:
+  int issued_ = 0;
+};
+
+TEST(AnnotatedTrace, OffByDefault) {
+  Simulator s(SimParams::paper_ssd(Bytes{16} * kMB));
+  s.add_process("r", std::make_unique<TwoReads>());
+  EXPECT_TRUE(s.run().annotated_trace.empty());
+}
+
+TEST(AnnotatedTrace, MissThenHit) {
+  SimParams params = SimParams::paper_ssd(Bytes{16} * kMB);
+  params.record_trace = true;
+  Simulator s(params);
+  s.add_process("r", std::make_unique<TwoReads>());
+  const auto result = s.run();
+  ASSERT_EQ(result.annotated_trace.size(), 2u);
+  EXPECT_TRUE(result.annotated_trace[0].cache_miss_annotation());
+  EXPECT_FALSE(result.annotated_trace[1].cache_miss_annotation());
+  EXPECT_FALSE(result.annotated_trace[0].readahead_hit_annotation());
+}
+
+TEST(AnnotatedTrace, CountsAgreeWithMetrics) {
+  SimParams params = SimParams::paper_ssd(Bytes{64} * kMB);
+  params.record_trace = true;
+  Simulator s(params);
+  s.add_app(workload::make_profile(workload::AppId::kCcm, 3));
+  const auto result = s.run();
+  std::int64_t hit_records = 0;
+  std::int64_t ra_hits = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  for (const auto& r : result.annotated_trace) {
+    if (!r.cache_miss_annotation()) ++hit_records;
+    if (r.readahead_hit_annotation()) ++ra_hits;
+    (r.is_write() ? writes : reads) += 1;
+  }
+  EXPECT_EQ(reads, result.cache.read_requests);
+  EXPECT_EQ(writes, result.cache.write_requests);
+  EXPECT_EQ(hit_records, result.cache.read_full_hits + result.cache.write_absorbed);
+  // Read-ahead drives ccm's streaming hits, so RA-hit annotations appear.
+  EXPECT_GT(ra_hits, 0);
+  EXPECT_LE(ra_hits, result.cache.read_full_hits);
+}
+
+TEST(AnnotatedTrace, SerializesThroughWireFormat) {
+  SimParams params = SimParams::paper_ssd(Bytes{32} * kMB);
+  params.record_trace = true;
+  Simulator s(params);
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 4));
+  const auto result = s.run();
+  ASSERT_FALSE(result.annotated_trace.empty());
+  const auto text = trace::serialize_trace(result.annotated_trace, "annotated upw");
+  EXPECT_EQ(trace::parse_trace(text), result.annotated_trace);
+}
+
+TEST(AnnotatedTrace, StatsMatchWorkload) {
+  SimParams params = SimParams::paper_ssd(Bytes{64} * kMB);
+  params.record_trace = true;
+  Simulator s(params);
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 4));
+  const auto result = s.run();
+  const auto stats = trace::compute_stats(result.annotated_trace);
+  EXPECT_EQ(stats.io_count, result.processes[0].io_count);
+  EXPECT_EQ(stats.total_bytes(),
+            result.processes[0].bytes_read + result.processes[0].bytes_written);
+}
+
+}  // namespace
+}  // namespace craysim::sim

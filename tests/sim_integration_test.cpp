@@ -1,0 +1,126 @@
+// End-to-end reproduction checks: the paper's Section 6 results as tests.
+// These run full application workloads through the simulator.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim::sim {
+namespace {
+
+SimResult run_two_venus(SimParams params) {
+  Simulator s(params);
+  s.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  s.add_app(workload::make_profile(workload::AppId::kVenus, 22));
+  return s.run();
+}
+
+TEST(Integration, TwoVenusOnBigSsdFullyUtilizeCpu) {
+  const auto result = run_two_venus(SimParams::paper_ssd(Bytes{256} * kMB));
+  EXPECT_GT(result.cpu_utilization(), 0.99);
+  EXPECT_LT(result.idle_time().seconds(), 5.0);
+  // No-idle execution would be ~761 s; allow overheads and copy stalls.
+  EXPECT_LT(result.total_wall.seconds(), 830.0);
+  EXPECT_GT(result.total_wall.seconds(), 758.0);
+}
+
+TEST(Integration, SmallCacheLeavesIdleTime) {
+  const auto small = run_two_venus(SimParams::paper_ssd(Bytes{8} * kMB));
+  const auto big = run_two_venus(SimParams::paper_ssd(Bytes{256} * kMB));
+  EXPECT_GT(small.idle_time().seconds(), 10.0 * big.idle_time().seconds());
+  EXPECT_GT(small.idle_time().seconds(), 100.0);
+}
+
+TEST(Integration, IdleTimeBroadlyDecreasesWithCacheSize) {
+  // Figure 8's shape: compare the small-cache region to the large-cache
+  // region (the middle can be non-monotonic under thrash).
+  const double idle4 = run_two_venus(SimParams::paper_ssd(Bytes{4} * kMB)).idle_time().seconds();
+  const double idle64 = run_two_venus(SimParams::paper_ssd(Bytes{64} * kMB)).idle_time().seconds();
+  const double idle256 =
+      run_two_venus(SimParams::paper_ssd(Bytes{256} * kMB)).idle_time().seconds();
+  EXPECT_GT(idle4, idle64);
+  EXPECT_GE(idle64, idle256 - 1.0);
+}
+
+TEST(Integration, WriteBehindAblationMatchesPaperDirection) {
+  SimParams with_wb = SimParams::paper_ssd(Bytes{128} * kMB);
+  SimParams without_wb = with_wb;
+  without_wb.cache.write_behind = false;
+  const double idle_with = run_two_venus(with_wb).idle_time().seconds();
+  const double idle_without = run_two_venus(without_wb).idle_time().seconds();
+  // Paper: 211 s -> 1 s. Shape check: at least 20x reduction, small residue.
+  EXPECT_LT(idle_with, 10.0);
+  EXPECT_GT(idle_without, 100.0);
+  EXPECT_GT(idle_without / std::max(idle_with, 0.5), 20.0);
+}
+
+TEST(Integration, ReadsAbsorbedWritesStillGoToDisk) {
+  const auto result = run_two_venus(SimParams::paper_ssd(Bytes{128} * kMB));
+  EXPECT_LT(result.disk.bytes_read, result.disk.bytes_written / 10);
+  EXPECT_GT(result.disk.bytes_written, Bytes{5'000} * kMB);
+}
+
+TEST(Integration, MixedWorkloadRunsToCompletion) {
+  Simulator s(SimParams::paper_ssd(Bytes{256} * kMB));
+  s.add_app(workload::make_profile(workload::AppId::kCcm, 1));
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 2));
+  s.add_app(workload::make_profile(workload::AppId::kGcm, 3));
+  const auto result = s.run();
+  ASSERT_EQ(result.processes.size(), 3u);
+  for (const auto& p : result.processes) EXPECT_GT(p.io_count, 0);
+  // Three mostly-compute jobs on one CPU: wall ~ sum of CPU times.
+  const double cpu_sum = 205 + 596 + 1897;
+  EXPECT_NEAR(result.total_wall.seconds(), cpu_sum, cpu_sum * 0.05);
+  EXPECT_GT(result.cpu_utilization(), 0.99);
+}
+
+TEST(Integration, NPlusOneRule) {
+  // Section 2.2: "n+1 jobs resident in main memory will keep n processors
+  // busy, given a typical supercomputer workload". With one processor and
+  // two mostly-in-memory jobs, utilization should be near-perfect even with
+  // a modest cache.
+  Simulator s(SimParams::paper_main_memory(Bytes{16} * kMB));
+  s.add_app(workload::make_profile(workload::AppId::kGcm, 1));
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 2));
+  const auto result = s.run();
+  EXPECT_GT(result.cpu_utilization(), 0.99);
+}
+
+TEST(Integration, QueueingAblationSlowsThingsDown) {
+  SimParams paper = SimParams::paper_main_memory(Bytes{32} * kMB);
+  SimParams queued = paper;
+  queued.disk_queueing = true;
+  const auto a = run_two_venus(paper);
+  const auto b = run_two_venus(queued);
+  EXPECT_GT(b.total_wall, a.total_wall);
+  EXPECT_GT(b.disk.queue_wait_time, Ticks::zero());
+  EXPECT_EQ(a.disk.queue_wait_time, Ticks::zero());
+}
+
+TEST(Integration, BufferCapDoesNotImproveUtilization) {
+  SimParams uncapped = SimParams::paper_main_memory(Bytes{32} * kMB);
+  SimParams capped = uncapped;
+  capped.cache.per_process_cap = Bytes{4} * kMB;
+  Simulator su(uncapped);
+  su.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  su.add_app(workload::make_profile(workload::AppId::kLes, 22));
+  const auto u = su.run();
+  Simulator sc(capped);
+  sc.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  sc.add_app(workload::make_profile(workload::AppId::kLes, 22));
+  const auto c = sc.run();
+  EXPECT_LE(c.cpu_utilization(), u.cpu_utilization() + 0.005);
+}
+
+TEST(Integration, LesAloneRunsWithLittleIdleEvenInMainMemoryCache) {
+  // Section 6.2: les "came closest to fully utilizing a CPU while doing
+  // large amounts of I/O ... the only program that used asynchronous reads
+  // and writes explicitly".
+  Simulator s(SimParams::paper_main_memory(Bytes{16} * kMB));
+  s.add_app(workload::make_profile(workload::AppId::kLes, 7));
+  const auto result = s.run();
+  EXPECT_GT(result.cpu_utilization(), 0.97);
+}
+
+}  // namespace
+}  // namespace craysim::sim

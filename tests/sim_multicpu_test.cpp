@@ -1,0 +1,143 @@
+// Multi-CPU scheduling: parallel execution, shared cache/disk, idle
+// accounting across processors, and the n+1 rule.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "workload/profiles.hpp"
+#include "workload/request.hpp"
+
+namespace craysim::sim {
+namespace {
+
+class FixedCompute final : public workload::RequestSource {
+ public:
+  explicit FixedCompute(Ticks total) : total_(total) {}
+  std::optional<workload::Request> next() override { return std::nullopt; }
+  Ticks final_compute() const override { return total_; }
+
+ private:
+  Ticks total_;
+};
+
+class PeriodicReader final : public workload::RequestSource {
+ public:
+  PeriodicReader(int count, Ticks gap, Bytes stride) : count_(count), gap_(gap), stride_(stride) {}
+  std::optional<workload::Request> next() override {
+    if (issued_ >= count_) return std::nullopt;
+    workload::Request r;
+    r.compute = gap_;
+    r.file = 1;
+    r.offset = stride_ * issued_;
+    r.length = 16 * kKiB;
+    ++issued_;
+    return r;
+  }
+
+ private:
+  int count_;
+  int issued_ = 0;
+  Ticks gap_;
+  Bytes stride_;
+};
+
+SimParams params_with_cpus(std::int32_t cpus) {
+  SimParams p = SimParams::paper_main_memory(Bytes{4} * kMB);
+  p.cpu_count = cpus;
+  return p;
+}
+
+TEST(MultiCpu, RejectsZeroCpus) {
+  SimParams p = params_with_cpus(0);
+  EXPECT_THROW(Simulator{p}, ConfigError);
+}
+
+TEST(MultiCpu, TwoComputeJobsRunInParallel) {
+  Simulator s(params_with_cpus(2));
+  s.add_process("a", std::make_unique<FixedCompute>(Ticks::from_seconds(2)));
+  s.add_process("b", std::make_unique<FixedCompute>(Ticks::from_seconds(2)));
+  const auto result = s.run();
+  // Two CPUs: both finish near 2 s, not 4 s.
+  EXPECT_NEAR(result.total_wall.seconds(), 2.0, 0.05);
+  EXPECT_GT(result.cpu_utilization(), 0.99);
+}
+
+TEST(MultiCpu, ThreeJobsOnTwoCpus) {
+  Simulator s(params_with_cpus(2));
+  for (int i = 0; i < 3; ++i) {
+    s.add_process("job", std::make_unique<FixedCompute>(Ticks::from_seconds(2)));
+  }
+  const auto result = s.run();
+  // 6 s of work on 2 CPUs: wall ~ 3 s.
+  EXPECT_NEAR(result.total_wall.seconds(), 3.0, 0.1);
+}
+
+TEST(MultiCpu, IdleCountsUnusedProcessors) {
+  Simulator s(params_with_cpus(4));
+  s.add_process("only", std::make_unique<FixedCompute>(Ticks::from_seconds(1)));
+  const auto result = s.run();
+  // One busy CPU, three idle for the whole second.
+  EXPECT_NEAR(result.cpu_idle.seconds(), 3.0, 0.05);
+  EXPECT_NEAR(result.cpu_utilization(), 0.25, 0.02);
+}
+
+TEST(MultiCpu, SpareJobCoversIoWait) {
+  // One CPU, two I/O-bound jobs: while one waits for disk the other runs.
+  auto make_reader = [] {
+    return std::make_unique<PeriodicReader>(50, Ticks::from_ms(50), Bytes{10} * kMB);
+  };
+  Simulator solo(params_with_cpus(1));
+  solo.add_process("r1", make_reader());
+  const auto alone = solo.run();
+  Simulator pair(params_with_cpus(1));
+  pair.add_process("r1", make_reader());
+  pair.add_process("r2", make_reader());
+  const auto both = pair.run();
+  EXPECT_GT(both.cpu_utilization(), alone.cpu_utilization());
+}
+
+TEST(MultiCpu, NPlusOneRuleForTypicalJobs) {
+  auto utilization = [](std::int32_t cpus, int jobs) {
+    SimParams p = SimParams::paper_main_memory(Bytes{8} * cpus * kMB);
+    p.cpu_count = cpus;
+    Simulator s(p);
+    for (int j = 0; j < jobs; ++j) s.add_app(workload::make_typical_batch_job(j));
+    return s.run().cpu_utilization();
+  };
+  const double two_jobs = utilization(2, 2);
+  const double three_jobs = utilization(2, 3);
+  EXPECT_GT(three_jobs, two_jobs);
+  EXPECT_GT(three_jobs, 0.95);
+}
+
+TEST(MultiCpu, SharedCacheIsCoherentAcrossCpus) {
+  // Two CPUs, two processes touching their own files through one cache:
+  // totals must match single-CPU behaviour.
+  Simulator s(params_with_cpus(2));
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 1));
+  s.add_app(workload::make_profile(workload::AppId::kUpw, 2));
+  const auto result = s.run();
+  ASSERT_EQ(result.processes.size(), 2u);
+  EXPECT_EQ(result.processes[0].io_count, result.processes[1].io_count);
+  // Both ran concurrently: wall ~ one upw runtime, not two.
+  EXPECT_NEAR(result.total_wall.seconds(), 596.0, 10.0);
+}
+
+TEST(MultiCpu, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimParams p = SimParams::paper_ssd(Bytes{64} * kMB);
+    p.cpu_count = 3;
+    Simulator s(p);
+    s.add_app(workload::make_profile(workload::AppId::kCcm, 5));
+    s.add_app(workload::make_profile(workload::AppId::kUpw, 6));
+    s.add_app(workload::make_profile(workload::AppId::kVenus, 7));
+    return s.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_wall, b.total_wall);
+  EXPECT_EQ(a.cpu_idle, b.cpu_idle);
+}
+
+}  // namespace
+}  // namespace craysim::sim

@@ -1,0 +1,141 @@
+// Fixed-width binary codec: round trips, parity with the ASCII compression
+// decisions, error handling, and the appendix's size claim as a property.
+#include "trace/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::trace {
+namespace {
+
+TraceRecord rec(std::uint32_t pid, std::uint32_t file, Bytes offset, Bytes length, Ticks start,
+                bool write = false) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, write, false);
+  r.process_id = pid;
+  r.file_id = file;
+  r.operation_id = 1;
+  r.offset = offset;
+  r.length = length;
+  r.start_time = start;
+  r.completion_time = Ticks(12);
+  r.process_time = Ticks(34);
+  return r;
+}
+
+TEST(Binary, EmptyTrace) {
+  EXPECT_TRUE(encode_binary({}).empty());
+  EXPECT_TRUE(decode_binary({}).empty());
+}
+
+TEST(Binary, SingleRecordRoundTrip) {
+  const Trace t = {rec(3, 7, 1536, 100, Ticks(55), true)};
+  EXPECT_EQ(decode_binary(encode_binary(t)), t);
+}
+
+TEST(Binary, FullyCompressedRecordIsSixteenBytes) {
+  Trace t = {rec(1, 1, 0, 4096, Ticks(0)), rec(1, 1, 4096, 4096, Ticks(10))};
+  const auto data = encode_binary(t);
+  // Record 1: 2+2 flags + offset(0 is emitted: not block-divisible? 0%512==0
+  // but value 0 stays bytes) ... just decode and compare.
+  EXPECT_EQ(decode_binary(data), t);
+  // Second record: type+compression (4) + start + completion + processTime
+  // (12) = 16 bytes.
+  Trace three = t;
+  three.push_back(rec(1, 1, 8192, 4096, Ticks(20)));
+  EXPECT_EQ(encode_binary(three).size(), data.size() + 16);
+}
+
+TEST(Binary, CommentsAreDropped) {
+  TraceRecord comment;
+  comment.record_type = kTraceComment;
+  const Trace t = {comment};
+  EXPECT_TRUE(encode_binary(t).empty());
+}
+
+TEST(Binary, TruncatedInputThrows) {
+  const Trace t = {rec(1, 1, 0, 4096, Ticks(0))};
+  auto data = encode_binary(t);
+  data.pop_back();
+  EXPECT_THROW((void)decode_binary(data), TraceFormatError);
+}
+
+TEST(Binary, OutOfOrderThrows) {
+  const Trace t = {rec(1, 1, 0, 4096, Ticks(100)), rec(1, 1, 4096, 4096, Ticks(50))};
+  EXPECT_THROW((void)encode_binary(t), TraceFormatError);
+}
+
+TEST(Binary, OverflowingFieldThrows) {
+  TraceRecord r = rec(1, 1, 0, 4096, Ticks(0));
+  r.completion_time = Ticks(0x1'0000'0000ll);
+  EXPECT_THROW((void)encode_binary({r}), TraceFormatError);
+}
+
+TEST(Binary, WholeAppRoundTrip) {
+  const auto t = workload::synthesize_trace(workload::make_profile(workload::AppId::kCcm));
+  EXPECT_EQ(decode_binary(encode_binary(t)), t);
+}
+
+class BinaryRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryRoundTrip, RandomTraces) {
+  Rng rng(GetParam());
+  Trace t;
+  Ticks time(0);
+  for (int i = 0; i < 1'000; ++i) {
+    TraceRecord r;
+    r.record_type = make_record_type(true, rng.chance(0.5), rng.chance(0.3));
+    r.process_id = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
+    r.file_id = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    r.operation_id = static_cast<std::uint32_t>(i);
+    r.offset = rng.uniform_int(0, 1 << 20);
+    r.length = rng.uniform_int(1, 1 << 16);
+    time += Ticks(rng.uniform_int(0, 1000));
+    r.start_time = time;
+    r.completion_time = Ticks(rng.uniform_int(0, 5000));
+    r.process_time = Ticks(rng.uniform_int(0, 1000));
+    t.push_back(r);
+  }
+  EXPECT_EQ(decode_binary(encode_binary(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRoundTrip, ::testing::Values(7, 21, 63, 189));
+
+TEST(StructDump, RoundTrip) {
+  const Trace t = {rec(1, 1, 0, 4096, Ticks(5)), rec(2, 3, 512, 1024, Ticks(90), true)};
+  const auto data = encode_binary_struct_dump(t);
+  EXPECT_EQ(data.size(), t.size() * kStructDumpRecordBytes);
+  EXPECT_EQ(decode_binary_struct_dump(data), t);
+}
+
+TEST(StructDump, RaggedLengthThrows) {
+  const Trace t = {rec(1, 1, 0, 4096, Ticks(5))};
+  auto data = encode_binary_struct_dump(t);
+  data.pop_back();
+  EXPECT_THROW((void)decode_binary_struct_dump(data), TraceFormatError);
+}
+
+TEST(StructDump, WholeAppRoundTrip) {
+  const auto t = workload::synthesize_trace(workload::make_profile(workload::AppId::kUpw));
+  EXPECT_EQ(decode_binary_struct_dump(encode_binary_struct_dump(t)), t);
+}
+
+TEST(FormatComparison, AsciiBeatsStructDumpOnEveryAppTrace) {
+  // The appendix's headline: many values print in 1-2 characters but always
+  // cost their full fixed width in a struct dump.
+  for (const auto app : workload::all_apps()) {
+    const auto t = workload::synthesize_trace(workload::make_profile(app));
+    const auto cmp = compare_formats(t);
+    EXPECT_LT(cmp.ascii_bytes, cmp.binary_struct_bytes) << workload::app_name(app);
+    // Extension: omission-aware binary reverses the verdict.
+    EXPECT_LT(cmp.binary_compressed_bytes, cmp.ascii_bytes) << workload::app_name(app);
+    EXPECT_GT(cmp.records, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace craysim::trace

@@ -1,0 +1,256 @@
+// Codec tests: wire format, every compression flag, error handling, and a
+// property-style random round-trip sweep.
+#include "trace/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/stream.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace craysim::trace {
+namespace {
+
+TraceRecord make_record(std::uint32_t pid, std::uint32_t file, Bytes offset, Bytes length,
+                        Ticks start, bool write = false) {
+  TraceRecord r;
+  r.record_type = make_record_type(/*logical=*/true, write, /*async=*/false);
+  r.process_id = pid;
+  r.file_id = file;
+  r.operation_id = 1;
+  r.offset = offset;
+  r.length = length;
+  r.start_time = start;
+  r.completion_time = Ticks(30);
+  r.process_time = Ticks(100);
+  return r;
+}
+
+TEST(Encoder, FirstRecordCarriesAllFields) {
+  AsciiTraceEncoder encoder;
+  const auto line = encoder.encode(make_record(5, 9, 1024, 4096, Ticks(50)));
+  // recordType compression offset length start completion op file pid ptime
+  const auto tokens = split(line, ' ');
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0], "128");  // logical read, file data
+}
+
+TEST(Encoder, SequentialSameSizeRecordCompressesAway) {
+  AsciiTraceEncoder encoder;
+  (void)encoder.encode(make_record(5, 9, 0, 4096, Ticks(50)));
+  // Sequential (offset 4096), same length, same pid/file/op: only the type,
+  // compression, and three time fields remain.
+  const auto line = encoder.encode(make_record(5, 9, 4096, 4096, Ticks(80)));
+  const auto tokens = split(line, ' ');
+  ASSERT_EQ(tokens.size(), 5u);
+  const auto flags = parse_uint(tokens[1]);
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(*flags & kNoOffset);
+  EXPECT_TRUE(*flags & kNoLength);
+  EXPECT_TRUE(*flags & kNoProcessId);
+  EXPECT_TRUE(*flags & kNoFileId);
+  EXPECT_TRUE(*flags & kNoOperationId);
+}
+
+TEST(Encoder, BlockUnitsUsedWhenDivisible) {
+  AsciiTraceEncoder encoder;
+  const auto line = encoder.encode(make_record(1, 1, 512 * 10, 512 * 4, Ticks(0)));
+  const auto tokens = split(line, ' ');
+  const auto flags = parse_uint(tokens[1]);
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(*flags & kOffsetInBlocks);
+  EXPECT_TRUE(*flags & kLengthInBlocks);
+  EXPECT_EQ(tokens[2], "10");  // offset in 512 B blocks
+  EXPECT_EQ(tokens[3], "4");   // length in blocks
+}
+
+TEST(Encoder, OddSizesStayInBytes) {
+  AsciiTraceEncoder encoder;
+  const auto line = encoder.encode(make_record(1, 1, 513, 100, Ticks(0)));
+  const auto tokens = split(line, ' ');
+  const auto flags = parse_uint(tokens[1]);
+  EXPECT_FALSE(*flags & kOffsetInBlocks);
+  EXPECT_FALSE(*flags & kLengthInBlocks);
+  EXPECT_EQ(tokens[2], "513");
+  EXPECT_EQ(tokens[3], "100");
+}
+
+TEST(Encoder, StartTimesAreDeltas) {
+  AsciiTraceEncoder encoder;
+  (void)encoder.encode(make_record(1, 1, 0, 100, Ticks(1000)));
+  const auto line = encoder.encode(make_record(1, 2, 0, 100, Ticks(1500)));
+  const auto tokens = split(line, ' ');
+  // offset present (new file), length present, then startTime delta.
+  EXPECT_EQ(tokens[4], "500");
+}
+
+TEST(Encoder, RejectsOutOfOrderRecords) {
+  AsciiTraceEncoder encoder;
+  (void)encoder.encode(make_record(1, 1, 0, 100, Ticks(1000)));
+  EXPECT_THROW((void)encoder.encode(make_record(1, 1, 100, 100, Ticks(900))), TraceFormatError);
+}
+
+TEST(Encoder, RejectsCommentViaEncode) {
+  AsciiTraceEncoder encoder;
+  TraceRecord comment;
+  comment.record_type = kTraceComment;
+  EXPECT_THROW((void)encoder.encode(comment), TraceFormatError);
+}
+
+TEST(Encoder, CommentStripsNewlines) {
+  AsciiTraceEncoder encoder;
+  EXPECT_EQ(encoder.encode_comment("hi\nthere"), "255 hithere");
+}
+
+TEST(Encoder, ResetForgetsState) {
+  AsciiTraceEncoder encoder;
+  (void)encoder.encode(make_record(1, 1, 0, 100, Ticks(1000)));
+  encoder.reset();
+  // After reset the encoder may not compress against forgotten state.
+  const auto line = encoder.encode(make_record(1, 1, 100, 100, Ticks(2000)));
+  EXPECT_EQ(split(line, ' ').size(), 10u);
+}
+
+TEST(Decoder, RoundTripSimple) {
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  const auto original = make_record(3, 4, 2048, 512, Ticks(77), /*write=*/true);
+  const auto decoded = decoder.decode_line(encoder.encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Decoder, CommentLinesReturnNullopt) {
+  AsciiTraceDecoder decoder;
+  EXPECT_FALSE(decoder.decode_line("255 a free-form comment").has_value());
+  EXPECT_EQ(decoder.last_comment(), "a free-form comment");
+  EXPECT_EQ(decoder.comment_count(), 1);
+}
+
+TEST(Decoder, BlankLinesSkipped) {
+  AsciiTraceDecoder decoder;
+  EXPECT_FALSE(decoder.decode_line("").has_value());
+  EXPECT_FALSE(decoder.decode_line("   ").has_value());
+  EXPECT_EQ(decoder.comment_count(), 0);
+}
+
+TEST(Decoder, MalformedLineThrows) {
+  AsciiTraceDecoder decoder;
+  EXPECT_THROW((void)decoder.decode_line("x y z"), TraceFormatError);
+  EXPECT_THROW((void)decoder.decode_line("128"), TraceFormatError);          // missing fields
+  EXPECT_THROW((void)decoder.decode_line("128 0 1 2 3 4 5 6 7 8 9"), TraceFormatError);  // extra
+}
+
+TEST(Decoder, CompressionWithoutStateThrows) {
+  AsciiTraceDecoder decoder;
+  // kNoProcessId (0x08 = 8) on the first record of the trace.
+  EXPECT_THROW((void)decoder.decode_line("128 8 0 100 10 5 1 1 20"), TraceFormatError);
+}
+
+TEST(Decoder, NoFileIdWithoutProcessHistoryThrows) {
+  AsciiTraceDecoder decoder;
+  // First record for pid 9 claims kNoFileId (0x80 = 128).
+  EXPECT_THROW((void)decoder.decode_line("128 128 0 100 10 5 1 9 20"), TraceFormatError);
+}
+
+TEST(Decoder, BlockFlagWithoutFieldThrows) {
+  AsciiTraceDecoder decoder;
+  // kNoOffset|kOffsetInBlocks = 0x41 = 65 is contradictory.
+  EXPECT_THROW((void)decoder.decode_line("128 65 100 10 5 1 1 1 20"), TraceFormatError);
+}
+
+TEST(Decoder, NegativeStartDeltaThrows) {
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  (void)decoder.decode_line(encoder.encode(make_record(1, 1, 0, 100, Ticks(1000))));
+  EXPECT_THROW((void)decoder.decode_line("128 0 0 100 -5 10 2 1 1 20"), TraceFormatError);
+}
+
+TEST(Decoder, SequentialReconstruction) {
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  const auto first = make_record(1, 1, 0, 4096, Ticks(0));
+  auto second = make_record(1, 1, 4096, 4096, Ticks(500));
+  (void)decoder.decode_line(encoder.encode(first));
+  const auto decoded = decoder.decode_line(encoder.encode(second));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->offset, 4096);
+  EXPECT_EQ(decoded->length, 4096);
+  EXPECT_EQ(decoded->start_time, Ticks(500));
+}
+
+TEST(Decoder, InterleavedFilesKeepIndependentState) {
+  // The venus pattern the paper highlights: interleaved sequential streams
+  // to several files still compress and reconstruct correctly.
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  std::vector<TraceRecord> originals;
+  Ticks t(0);
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t file = 1; file <= 3; ++file) {
+      auto r = make_record(1, file, Bytes{round} * 8192, 8192, t);
+      r.operation_id = static_cast<std::uint32_t>(originals.size() + 1);
+      originals.push_back(r);
+      t += Ticks(100);
+    }
+  }
+  for (const auto& original : originals) {
+    const auto decoded = decoder.decode_line(encoder.encode(original));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+TEST(Decoder, ResetForgetsState) {
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  (void)decoder.decode_line(encoder.encode(make_record(1, 1, 0, 100, Ticks(10))));
+  decoder.reset();
+  // A compressed record that needs the forgotten state must now fail.
+  EXPECT_THROW((void)decoder.decode_line("128 8 0 100 10 5 1 1 20"), TraceFormatError);
+  EXPECT_EQ(decoder.comment_count(), 0);
+}
+
+// --- property: random traces round-trip exactly ----------------------------
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomTraceRoundTripsExactly) {
+  Rng rng(GetParam());
+  AsciiTraceEncoder encoder;
+  AsciiTraceDecoder decoder;
+  Ticks t(0);
+  std::vector<Bytes> cursors(6, 0);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto pid = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    const auto file = static_cast<std::uint32_t>(rng.uniform_int(1, 5));
+    TraceRecord r;
+    r.record_type = make_record_type(true, rng.chance(0.4), rng.chance(0.2),
+                                     rng.chance(0.05) ? DataClass::kMetaData
+                                                      : DataClass::kFileData);
+    r.process_id = pid;
+    r.file_id = file;
+    r.operation_id = static_cast<std::uint32_t>(i + 1);
+    if (rng.chance(0.7)) {
+      r.offset = cursors[file];  // often sequential
+    } else {
+      r.offset = rng.uniform_int(0, 1 << 22);
+    }
+    r.length = rng.chance(0.5) ? 4096 : rng.uniform_int(1, 100'000);
+    cursors[file] = r.offset + r.length;
+    t += Ticks(rng.uniform_int(0, 500));
+    r.start_time = t;
+    r.completion_time = Ticks(rng.uniform_int(0, 2'000));
+    r.process_time = Ticks(rng.uniform_int(0, 500));
+    const auto decoded = decoder.decode_line(encoder.encode(r));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, r) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace craysim::trace

@@ -1,0 +1,134 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace craysim::trace {
+namespace {
+
+TEST(RecordType, MakeAndDecompose) {
+  const auto type = make_record_type(/*logical=*/true, /*write=*/true, /*async=*/true,
+                                     DataClass::kMetaData, /*cache_miss=*/true,
+                                     /*readahead_hit=*/false);
+  TraceRecord r;
+  r.record_type = type;
+  EXPECT_TRUE(r.is_logical());
+  EXPECT_TRUE(r.is_write());
+  EXPECT_FALSE(r.is_read());
+  EXPECT_TRUE(r.is_async());
+  EXPECT_EQ(r.data_class(), DataClass::kMetaData);
+  EXPECT_TRUE(r.cache_miss_annotation());
+  EXPECT_FALSE(r.readahead_hit_annotation());
+}
+
+TEST(RecordType, FlagValuesMatchAppendix) {
+  EXPECT_EQ(kTraceLogicalRecord, 0x80);
+  EXPECT_EQ(kTraceWrite, 0x40);
+  EXPECT_EQ(kTraceAsync, 0x08);
+  EXPECT_EQ(kTraceCacheMiss, 0x20);
+  EXPECT_EQ(kTraceReadaheadHit, 0x10);
+  EXPECT_EQ(kTraceComment, 0xff);
+  EXPECT_EQ(kOffsetInBlocks, 0x01);
+  EXPECT_EQ(kLengthInBlocks, 0x02);
+  EXPECT_EQ(kNoLength, 0x04);
+  EXPECT_EQ(kNoProcessId, 0x08);
+  EXPECT_EQ(kNoOperationId, 0x20);
+  EXPECT_EQ(kNoOffset, 0x40);
+  EXPECT_EQ(kNoFileId, 0x80);
+}
+
+TEST(RecordType, PhysicalReadDefaults) {
+  const auto type = make_record_type(/*logical=*/false, /*write=*/false, /*async=*/false);
+  TraceRecord r;
+  r.record_type = type;
+  EXPECT_FALSE(r.is_logical());
+  EXPECT_TRUE(r.is_read());
+  EXPECT_FALSE(r.is_async());
+  EXPECT_EQ(r.data_class(), DataClass::kFileData);
+}
+
+TEST(Record, EndOffset) {
+  TraceRecord r;
+  r.offset = 1000;
+  r.length = 24;
+  EXPECT_EQ(r.end(), 1024);
+}
+
+TEST(Record, CommentDetection) {
+  TraceRecord r;
+  r.record_type = kTraceComment;
+  EXPECT_TRUE(r.is_comment());
+}
+
+TEST(Record, EqualityIgnoresCompressionField) {
+  TraceRecord a;
+  a.offset = 5;
+  TraceRecord b = a;
+  b.compression = kNoLength;
+  EXPECT_EQ(a, b);
+  b.offset = 6;
+  EXPECT_NE(a, b);
+}
+
+TEST(Validate, AcceptsPlainRecord) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, false, false);
+  r.length = 4096;
+  EXPECT_NO_THROW(validate(r));
+}
+
+TEST(Validate, RejectsNegativeLength) {
+  TraceRecord r;
+  r.length = -1;
+  EXPECT_THROW(validate(r), TraceFormatError);
+}
+
+TEST(Validate, RejectsNegativeOffset) {
+  TraceRecord r;
+  r.offset = -10;
+  EXPECT_THROW(validate(r), TraceFormatError);
+}
+
+TEST(Validate, RejectsNegativeTimes) {
+  TraceRecord r;
+  r.completion_time = Ticks(-1);
+  EXPECT_THROW(validate(r), TraceFormatError);
+  r.completion_time = Ticks(0);
+  r.process_time = Ticks(-1);
+  EXPECT_THROW(validate(r), TraceFormatError);
+}
+
+TEST(Validate, RejectsReadaheadWrite) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, true, false, DataClass::kReadahead);
+  EXPECT_THROW(validate(r), TraceFormatError);
+}
+
+TEST(Validate, RejectsReadaheadHitOnMiss) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, false, false, DataClass::kFileData,
+                                   /*cache_miss=*/true, /*readahead_hit=*/true);
+  EXPECT_THROW(validate(r), TraceFormatError);
+}
+
+TEST(Validate, CommentsAreAlwaysValid) {
+  TraceRecord r;
+  r.record_type = kTraceComment;
+  r.length = -99;  // garbage payload must be ignored for comments
+  EXPECT_NO_THROW(validate(r));
+}
+
+TEST(ToString, MentionsDirectionAndIds) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, true, true);
+  r.process_id = 7;
+  r.file_id = 3;
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("W"), std::string::npos);
+  EXPECT_NE(s.find("pid=7"), std::string::npos);
+  EXPECT_NE(s.find("file=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace craysim::trace

@@ -1,0 +1,165 @@
+// Table 1/2 arithmetic on hand-built traces with known answers.
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace craysim::trace {
+namespace {
+
+TraceRecord io(std::uint32_t pid, std::uint32_t file, Bytes offset, Bytes length, bool write,
+               Ticks ptime, Ticks start = Ticks(0)) {
+  TraceRecord r;
+  r.record_type = make_record_type(true, write, false);
+  r.process_id = pid;
+  r.file_id = file;
+  r.offset = offset;
+  r.length = length;
+  r.start_time = start;
+  r.completion_time = Ticks(10);
+  r.process_time = ptime;
+  return r;
+}
+
+TEST(ComputeStats, EmptyTrace) {
+  const TraceStats s = compute_stats(std::vector<TraceRecord>{});
+  EXPECT_EQ(s.io_count, 0);
+  EXPECT_EQ(s.total_bytes(), 0);
+  EXPECT_EQ(s.avg_io_bytes(), 0.0);
+  EXPECT_EQ(s.mb_per_cpu_second(), 0.0);
+  EXPECT_EQ(s.read_write_ratio(), 0.0);
+}
+
+TEST(ComputeStats, CountsAndBytes) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 1000, false, Ticks::from_seconds(1)),
+      io(1, 1, 1000, 1000, false, Ticks::from_seconds(1)),
+      io(1, 2, 0, 500, true, Ticks::from_seconds(2)),
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.io_count, 3);
+  EXPECT_EQ(s.read_count, 2);
+  EXPECT_EQ(s.write_count, 1);
+  EXPECT_EQ(s.read_bytes, 2000);
+  EXPECT_EQ(s.write_bytes, 500);
+  EXPECT_EQ(s.cpu_time, Ticks::from_seconds(4));
+  EXPECT_DOUBLE_EQ(s.avg_io_bytes(), 2500.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.read_write_ratio(), 4.0);
+  EXPECT_NEAR(s.mb_per_cpu_second(), 2500.0 / 1e6 / 4.0, 1e-12);
+  EXPECT_NEAR(s.ios_per_cpu_second(), 0.75, 1e-12);
+}
+
+TEST(ComputeStats, DataSetSizeIsSumOfExtents) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 1000, false, Ticks(1)),
+      io(1, 1, 5000, 1000, false, Ticks(1)),  // extends file 1 to 6000
+      io(1, 2, 0, 300, true, Ticks(1)),
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.data_set_size, 6300);
+}
+
+TEST(ComputeStats, SequentialityPerFile) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 100, false, Ticks(1)),
+      io(1, 1, 100, 100, false, Ticks(1)),   // sequential
+      io(1, 2, 0, 50, false, Ticks(1)),      // first access to file 2
+      io(1, 1, 200, 100, false, Ticks(1)),   // sequential despite interleave
+      io(1, 1, 0, 100, false, Ticks(1)),     // rewind: not sequential
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.sequential, 2);
+  EXPECT_DOUBLE_EQ(s.sequential_fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(s.files.at(1).sequential_fraction(), 0.5);
+}
+
+TEST(ComputeStats, MultiProcessCpuTimeSums) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 100, false, Ticks::from_seconds(1)),
+      io(2, 2, 0, 100, false, Ticks::from_seconds(2)),
+  };
+  EXPECT_EQ(compute_stats(t).cpu_time, Ticks::from_seconds(3));
+}
+
+TEST(ComputeStats, IgnoresCommentsPhysicalAndMetadata) {
+  std::vector<TraceRecord> t = {io(1, 1, 0, 100, false, Ticks(1))};
+  TraceRecord comment;
+  comment.record_type = kTraceComment;
+  t.push_back(comment);
+  TraceRecord phys = io(0, 99, 0, 4096, true, Ticks(0));
+  phys.record_type = make_record_type(/*logical=*/false, true, false);
+  t.push_back(phys);
+  TraceRecord meta = io(1, 1, 0, 4096, true, Ticks(0));
+  meta.record_type = make_record_type(true, true, false, DataClass::kMetaData);
+  t.push_back(meta);
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.io_count, 1);
+  EXPECT_EQ(s.total_bytes(), 100);
+}
+
+TEST(ComputeStats, WallTimeSpansFirstToLastCompletion) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 100, false, Ticks(1), Ticks(100)),
+      io(1, 1, 100, 100, false, Ticks(1), Ticks(500)),
+  };
+  // wall = (500 + 10) - 100
+  EXPECT_EQ(compute_stats(t).wall_time, Ticks(410));
+}
+
+TEST(ComputeStats, ReadWriteRatioInfinityWhenNoWrites) {
+  std::vector<TraceRecord> t = {io(1, 1, 0, 100, false, Ticks(1))};
+  EXPECT_TRUE(std::isinf(compute_stats(t).read_write_ratio()));
+}
+
+TEST(ComputeStats, AsyncCounting) {
+  auto r = io(1, 1, 0, 100, false, Ticks(1));
+  r.record_type = make_record_type(true, false, /*async=*/true);
+  const TraceStats s = compute_stats(std::vector<TraceRecord>{r});
+  EXPECT_EQ(s.async_count, 1);
+}
+
+TEST(FileStats, UsageClassification) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 100, false, Ticks(1)),
+      io(1, 2, 0, 100, true, Ticks(1)),
+      io(1, 3, 0, 100, false, Ticks(1)),
+      io(1, 3, 100, 100, true, Ticks(1)),
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.files.at(1).usage(), FileUsage::kReadOnly);
+  EXPECT_EQ(s.files.at(2).usage(), FileUsage::kWriteOnly);
+  EXPECT_EQ(s.files.at(3).usage(), FileUsage::kReadWrite);
+}
+
+TEST(TopFileByteShare, ConcentrationMetric) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 9'000, false, Ticks(1)),
+      io(1, 2, 0, 500, false, Ticks(1)),
+      io(1, 3, 0, 500, false, Ticks(1)),
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_DOUBLE_EQ(s.top_file_byte_share(1), 0.9);
+  EXPECT_DOUBLE_EQ(s.top_file_byte_share(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.top_file_byte_share(0), 0.0);
+}
+
+TEST(Summarize, MentionsKeyNumbers) {
+  std::vector<TraceRecord> t = {io(1, 1, 0, 1'000'000, false, Ticks::from_seconds(1))};
+  const std::string text = summarize(compute_stats(t), "demo");
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("1.00 s"), std::string::npos);
+}
+
+TEST(SizeHistogram, TracksRequestSizes) {
+  std::vector<TraceRecord> t = {
+      io(1, 1, 0, 4096, false, Ticks(1)),
+      io(1, 1, 4096, 4096, false, Ticks(1)),
+  };
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.size_histogram.total_count(), 2);
+  EXPECT_EQ(s.size_histogram.percentile(50), 4096);
+}
+
+}  // namespace
+}  // namespace craysim::trace

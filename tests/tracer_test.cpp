@@ -1,0 +1,163 @@
+// The Section 4 trace-collection pipeline: batching, flushing, header
+// amortization, reconstruction, overhead accounting.
+#include "tracer/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::tracer {
+namespace {
+
+void record_n(LibraryTracer& tracer, std::uint32_t pid, std::uint32_t file, int n,
+              Ticks start = Ticks(0)) {
+  for (int i = 0; i < n; ++i) {
+    tracer.record_io(pid, file, Bytes{i} * 1000, 1000, /*write=*/false, /*async=*/false,
+                     start + Ticks(i * 10), Ticks(5), Ticks(8));
+  }
+}
+
+TEST(LibraryTracer, BatchesUntilPacketFull) {
+  ProcstatCollector collector;
+  TracerOptions options;
+  options.entries_per_packet = 10;
+  LibraryTracer tracer(collector, options);
+  record_n(tracer, 1, 1, 9);
+  EXPECT_EQ(collector.stats().packets, 0);  // still batched
+  record_n(tracer, 1, 1, 1, Ticks(1000));
+  EXPECT_EQ(collector.stats().packets, 1);
+  EXPECT_EQ(collector.log()[0].entries.size(), 10u);
+}
+
+TEST(LibraryTracer, PerFileBatches) {
+  ProcstatCollector collector;
+  TracerOptions options;
+  options.entries_per_packet = 4;
+  LibraryTracer tracer(collector, options);
+  // Interleave two files; batches fill independently.
+  for (int i = 0; i < 4; ++i) {
+    tracer.record_io(1, 1, i * 100, 100, false, false, Ticks(i * 10), Ticks(1), Ticks(1));
+    tracer.record_io(1, 2, i * 100, 100, false, false, Ticks(i * 10 + 5), Ticks(1), Ticks(1));
+  }
+  EXPECT_EQ(collector.stats().packets, 2);
+  EXPECT_EQ(collector.log()[0].file_id, 1u);
+  EXPECT_EQ(collector.log()[1].file_id, 2u);
+}
+
+TEST(LibraryTracer, CloseFlushesPartialBatch) {
+  ProcstatCollector collector;
+  LibraryTracer tracer(collector);
+  record_n(tracer, 1, 1, 3);
+  tracer.close_file(1, 1);
+  EXPECT_EQ(collector.stats().packets, 1);
+  EXPECT_EQ(collector.log()[0].entries.size(), 3u);
+}
+
+TEST(LibraryTracer, FinishFlushesEverything) {
+  ProcstatCollector collector;
+  LibraryTracer tracer(collector);
+  record_n(tracer, 1, 1, 3);
+  record_n(tracer, 2, 5, 2, Ticks(500));
+  tracer.finish();
+  EXPECT_EQ(collector.stats().packets, 2);
+  EXPECT_EQ(collector.stats().entries, 5);
+}
+
+TEST(LibraryTracer, ForcedFlushEveryN) {
+  ProcstatCollector collector;
+  TracerOptions options;
+  options.entries_per_packet = 1'000'000;  // never fills
+  options.force_flush_every = 50;
+  LibraryTracer tracer(collector, options);
+  record_n(tracer, 1, 1, 120);
+  EXPECT_EQ(collector.stats().forced_flushes, 2);
+  EXPECT_GE(collector.stats().packets, 2);
+}
+
+TEST(LibraryTracer, ImpliedFieldsDetected) {
+  ProcstatCollector collector;
+  LibraryTracer tracer(collector);
+  // Three sequential same-size I/Os: entries 2..3 imply offset and length.
+  record_n(tracer, 1, 1, 3);
+  tracer.finish();
+  const auto& entries = collector.log()[0].entries;
+  EXPECT_FALSE(entries[0].offset_implied);
+  EXPECT_TRUE(entries[1].offset_implied);
+  EXPECT_TRUE(entries[1].length_implied);
+  EXPECT_TRUE(entries[2].offset_implied);
+  // Encoded size shrinks accordingly: 5 words -> 3 words.
+  EXPECT_EQ(entries[0].encoded_bytes(), 40);
+  EXPECT_EQ(entries[1].encoded_bytes(), 24);
+}
+
+TEST(CollectorStats, HeaderAmortization) {
+  ProcstatCollector collector;
+  TracerOptions options;
+  options.entries_per_packet = 500;
+  LibraryTracer tracer(collector, options);
+  record_n(tracer, 1, 1, 500);
+  const auto& stats = collector.stats();
+  // 64-byte header over 500 entries: well under a word per I/O of overhead.
+  EXPECT_LT(stats.bytes_per_io(), 40.0 + 1.0);
+  EXPECT_GT(stats.bytes_per_io(), 20.0);
+}
+
+TEST(CollectorStats, OverheadFraction) {
+  CollectorStats stats;
+  stats.entries = 100;
+  stats.tracing_cpu = Ticks::from_us(600);  // 6 us per I/O
+  EXPECT_NEAR(stats.overhead_fraction(Ticks::from_us(300)), 0.02, 1e-9);
+  EXPECT_EQ(stats.overhead_fraction(Ticks::zero()), 0.0);
+}
+
+TEST(Reconstruct, MergesBatchesByStartTime) {
+  ProcstatCollector collector;
+  TracerOptions options;
+  options.entries_per_packet = 100;
+  LibraryTracer tracer(collector, options);
+  // Two files, interleaved in time but batched per file.
+  for (int i = 0; i < 10; ++i) {
+    tracer.record_io(1, 1, i * 100, 100, false, false, Ticks(i * 20), Ticks(1), Ticks(1));
+    tracer.record_io(1, 2, i * 100, 100, true, false, Ticks(i * 20 + 10), Ticks(1), Ticks(1));
+  }
+  tracer.finish();
+  ASSERT_EQ(collector.stats().packets, 2);
+  const auto rebuilt = reconstruct(collector.log());
+  ASSERT_EQ(rebuilt.size(), 20u);
+  for (std::size_t i = 1; i < rebuilt.size(); ++i) {
+    EXPECT_GT(rebuilt[i].start_time, rebuilt[i - 1].start_time);
+  }
+  EXPECT_EQ(rebuilt[0].file_id, 1u);
+  EXPECT_EQ(rebuilt[1].file_id, 2u);
+  EXPECT_TRUE(rebuilt[1].is_write());
+}
+
+TEST(Pipeline, WholeAppRoundTrip) {
+  const auto original =
+      workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus));
+  const auto collector = instrument_trace(original);
+  const auto rebuilt = reconstruct(collector.log());
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].start_time, original[i].start_time);
+    EXPECT_EQ(rebuilt[i].offset, original[i].offset);
+    EXPECT_EQ(rebuilt[i].length, original[i].length);
+    EXPECT_EQ(rebuilt[i].file_id, original[i].file_id);
+    EXPECT_EQ(rebuilt[i].process_time, original[i].process_time);
+  }
+  EXPECT_LT(collector.stats().overhead_fraction(TracerOptions{}.io_syscall_time), 0.20);
+}
+
+TEST(Pipeline, PacketBytesAccounting) {
+  ProcstatCollector collector;
+  LibraryTracer tracer(collector);
+  record_n(tracer, 1, 1, 5);
+  tracer.finish();
+  const auto& packet = collector.log()[0];
+  EXPECT_EQ(packet.encoded_bytes(), collector.stats().packet_bytes);
+  EXPECT_EQ(packet.encoded_bytes(), 64 + 40 + 4 * 24);
+}
+
+}  // namespace
+}  // namespace craysim::tracer

@@ -1,0 +1,83 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace craysim {
+namespace {
+
+TEST(Ticks, DefaultIsZero) { EXPECT_EQ(Ticks().count(), 0); }
+
+TEST(Ticks, FromSecondsUsesTenMicrosecondUnits) {
+  EXPECT_EQ(Ticks::from_seconds(1.0).count(), 100'000);
+  EXPECT_EQ(Ticks::from_seconds(0.5).count(), 50'000);
+  EXPECT_EQ(Ticks::from_ms(1.0).count(), 100);
+  EXPECT_EQ(Ticks::from_us(10.0).count(), 1);
+}
+
+TEST(Ticks, FromUsRoundsToNearestTick) {
+  EXPECT_EQ(Ticks::from_us(14.0).count(), 1);   // 14 us -> 1.4 ticks -> 1
+  EXPECT_EQ(Ticks::from_us(16.0).count(), 2);   // 1.6 ticks -> 2
+  EXPECT_EQ(Ticks::from_us(4.0).count(), 0);
+}
+
+TEST(Ticks, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Ticks::from_seconds(123.45).seconds(), 123.45);
+}
+
+TEST(Ticks, Arithmetic) {
+  const Ticks a = Ticks(300);
+  const Ticks b = Ticks(200);
+  EXPECT_EQ((a + b).count(), 500);
+  EXPECT_EQ((a - b).count(), 100);
+  EXPECT_EQ((a * 3).count(), 900);
+  EXPECT_EQ((3 * a).count(), 900);
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ((a / 3).count(), 100);
+  EXPECT_EQ((a % b).count(), 100);
+}
+
+TEST(Ticks, CompoundAssignment) {
+  Ticks t = Ticks(10);
+  t += Ticks(5);
+  EXPECT_EQ(t.count(), 15);
+  t -= Ticks(20);
+  EXPECT_EQ(t.count(), -5);
+}
+
+TEST(Ticks, Comparisons) {
+  EXPECT_LT(Ticks(1), Ticks(2));
+  EXPECT_GE(Ticks(2), Ticks(2));
+  EXPECT_EQ(Ticks(7), Ticks(7));
+}
+
+TEST(Ticks, NegativeDurationsRoundTowardNearest) {
+  EXPECT_EQ(Ticks::from_seconds(-1.0).count(), -100'000);
+}
+
+TEST(FormatTicks, PicksSensibleUnit) {
+  EXPECT_EQ(format_ticks(Ticks::from_seconds(2.5)), "2.50 s");
+  EXPECT_EQ(format_ticks(Ticks::from_ms(3.25)), "3.25 ms");
+  EXPECT_EQ(format_ticks(Ticks::from_us(50)), "50 us");
+}
+
+TEST(FormatBytes, PicksSensibleUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2'000), "2.0 KB");
+  EXPECT_EQ(format_bytes(3'500'000), "3.50 MB");
+  EXPECT_EQ(format_bytes(9'600'000'000), "9.60 GB");
+}
+
+TEST(MbPerSecond, BasicRates) {
+  EXPECT_DOUBLE_EQ(mb_per_second(10'000'000, Ticks::from_seconds(1)), 10.0);
+  EXPECT_DOUBLE_EQ(mb_per_second(10'000'000, Ticks::from_seconds(2)), 5.0);
+}
+
+TEST(MbPerSecond, ZeroOrNegativeDurationIsZero) {
+  EXPECT_EQ(mb_per_second(1'000'000, Ticks::zero()), 0.0);
+  EXPECT_EQ(mb_per_second(1'000'000, Ticks(-5)), 0.0);
+}
+
+TEST(Constants, TraceBlockSizeMatchesAppendix) { EXPECT_EQ(kTraceBlockSize, 512); }
+
+}  // namespace
+}  // namespace craysim

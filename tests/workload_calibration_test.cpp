@@ -1,0 +1,139 @@
+// Calibration tests: every synthetic application must reproduce the
+// published Table 1/2 statistics and the Section 5 qualitative properties.
+// Parameterized over the seven applications.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/patterns.hpp"
+#include "trace/stats.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace craysim::workload {
+namespace {
+
+class Calibration : public ::testing::TestWithParam<AppId> {
+ protected:
+  static const trace::TraceStats& stats_for(AppId app) {
+    static std::map<AppId, trace::TraceStats> cache;
+    auto it = cache.find(app);
+    if (it == cache.end()) {
+      const auto trace = synthesize_trace(make_profile(app));
+      it = cache.emplace(app, trace::compute_stats(trace)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(Calibration, RunningTimeExact) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  EXPECT_NEAR(stats.cpu_time.seconds(), paper.run_time_s, paper.run_time_s * 0.01);
+}
+
+TEST_P(Calibration, AggregateDataRate) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  if (paper.mb_per_s > 1.0) {
+    EXPECT_NEAR(stats.mb_per_cpu_second(), paper.mb_per_s, paper.mb_per_s * 0.10);
+  } else {
+    EXPECT_NEAR(stats.mb_per_cpu_second(), paper.mb_per_s, 0.05);
+  }
+}
+
+TEST_P(Calibration, RequestRate) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  EXPECT_NEAR(stats.ios_per_cpu_second(), paper.ios_per_s, paper.ios_per_s * 0.10);
+}
+
+TEST_P(Calibration, ReadWriteSplit) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  const double tol_r = std::max(paper.read_mb_s * 0.10, 0.01);
+  const double tol_w = std::max(paper.write_mb_s * 0.10, 0.01);
+  EXPECT_NEAR(stats.read_mb_per_cpu_second(), paper.read_mb_s, tol_r);
+  EXPECT_NEAR(stats.write_mb_per_cpu_second(), paper.write_mb_s, tol_w);
+}
+
+TEST_P(Calibration, ReadWriteRatio) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  EXPECT_NEAR(stats.read_write_ratio(), paper.rw_ratio, paper.rw_ratio * 0.12 + 0.002);
+}
+
+TEST_P(Calibration, AverageRequestSize) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  EXPECT_NEAR(stats.avg_io_bytes() / 1e3, paper.avg_io_kb, paper.avg_io_kb * 0.10);
+}
+
+TEST_P(Calibration, DataSetSize) {
+  const auto& paper = paper_stats(GetParam());
+  const auto& stats = stats_for(GetParam());
+  EXPECT_NEAR(static_cast<double>(stats.data_set_size) / 1e6, paper.data_set_mb,
+              paper.data_set_mb * 0.12);
+}
+
+TEST_P(Calibration, HighSequentiality) {
+  EXPECT_GT(stats_for(GetParam()).sequential_fraction(), 0.80);
+}
+
+TEST_P(Calibration, TrafficConcentratedInFewFiles) {
+  EXPECT_GT(stats_for(GetParam()).top_file_byte_share(6), 0.90);
+}
+
+TEST_P(Calibration, ConstantRequestSizes) {
+  const auto trace = synthesize_trace(make_profile(GetParam()));
+  const auto report = analysis::analyze_patterns(trace);
+  EXPECT_GT(report.constant_size_share, 0.90);
+}
+
+TEST_P(Calibration, TraceSurvivesWireFormat) {
+  const auto trace = synthesize_trace(make_profile(GetParam()));
+  const auto text = trace::serialize_trace(trace);
+  EXPECT_EQ(trace::parse_trace(text), trace);
+  // Compression keeps records small despite ten fields.
+  EXPECT_LT(static_cast<double>(text.size()) / static_cast<double>(trace.size()), 48.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Calibration, ::testing::ValuesIn(all_apps()),
+                         [](const ::testing::TestParamInfo<AppId>& param_info) {
+                           return std::string(app_name(param_info.param));
+                         });
+
+TEST(Profiles, NamesRoundTrip) {
+  for (const AppId app : all_apps()) {
+    EXPECT_EQ(app_by_name(app_name(app)), app);
+  }
+  EXPECT_EQ(app_by_name("nonesuch"), std::nullopt);
+}
+
+TEST(Profiles, AllValidate) {
+  for (const AppId app : all_apps()) EXPECT_NO_THROW(make_profile(app).validate());
+}
+
+TEST(Profiles, OnlyLesIsAsync) {
+  for (const AppId app : all_apps()) {
+    const auto profile = make_profile(app);
+    bool any_async = false;
+    for (const auto& burst : profile.cycle) any_async |= burst.async;
+    EXPECT_EQ(any_async, app == AppId::kLes) << app_name(app);
+  }
+}
+
+TEST(Profiles, GcmAndUpwAreCompulsoryOnly) {
+  // Section 5.1: gcm and upw do only "required" I/O — reads at startup,
+  // a modest forward-streaming output, no per-cycle re-reads.
+  for (const AppId app : {AppId::kGcm, AppId::kUpw}) {
+    const auto profile = make_profile(app);
+    for (const auto& burst : profile.cycle) {
+      EXPECT_TRUE(burst.write) << app_name(app) << " must not re-read per cycle";
+    }
+    EXPECT_FALSE(profile.startup.empty());
+  }
+}
+
+}  // namespace
+}  // namespace craysim::workload

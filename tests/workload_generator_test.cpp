@@ -1,0 +1,194 @@
+// Request-generator behaviour: CPU-budget exactness, burst structure,
+// cursor/rewind semantics, determinism.
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace craysim::workload {
+namespace {
+
+AppProfile two_burst_profile() {
+  AppProfile p;
+  p.name = "gen-test";
+  p.cpu_time = Ticks::from_seconds(10);
+  p.cycles = 5;
+  p.files = {{"in", 1'000'000}, {"out", 1'000'000}};
+  p.cycle.push_back({{0}, /*write=*/false, /*async=*/false, 10'000, 20});
+  p.cycle.push_back({{1}, /*write=*/true, /*async=*/false, 5'000, 8});
+  p.gap_jitter = 0.2;
+  return p;
+}
+
+Ticks total_cpu(const AppProfile& p) {
+  AppRequestGenerator gen(p);
+  Ticks total;
+  while (auto req = gen.next()) total += req->compute;
+  return total + gen.final_compute();
+}
+
+TEST(Generator, RequestCountMatchesProfile) {
+  const AppProfile p = two_burst_profile();
+  EXPECT_EQ(static_cast<std::int64_t>(AppRequestGenerator::generate_all(p).size()),
+            p.total_requests());
+}
+
+TEST(Generator, CpuBudgetIsExact) {
+  const AppProfile p = two_burst_profile();
+  EXPECT_EQ(total_cpu(p), p.cpu_time);
+}
+
+TEST(Generator, CpuBudgetExactWithoutJitter) {
+  AppProfile p = two_burst_profile();
+  p.gap_jitter = 0.0;
+  EXPECT_EQ(total_cpu(p), p.cpu_time);
+}
+
+TEST(Generator, CpuBudgetExactWithEdges) {
+  AppProfile p = two_burst_profile();
+  p.startup.push_back({{0}, false, 1'000, 5});
+  p.finale.push_back({{1}, true, 1'000, 5});
+  EXPECT_EQ(total_cpu(p), p.cpu_time);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const AppProfile p = two_burst_profile();
+  const auto a = AppRequestGenerator::generate_all(p);
+  const auto b = AppRequestGenerator::generate_all(p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DifferentSeedsDifferInTiming) {
+  AppProfile p = two_burst_profile();
+  const auto a = AppRequestGenerator::generate_all(p);
+  p.seed += 1;
+  const auto b = AppRequestGenerator::generate_all(p);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_different |= (a[i].compute != b[i].compute);
+  EXPECT_TRUE(any_different);
+  // ... but the I/O pattern itself is identical.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].file, b[i].file);
+  }
+}
+
+TEST(Generator, OffsetsSequentialWithinBurst) {
+  const AppProfile p = two_burst_profile();
+  const auto requests = AppRequestGenerator::generate_all(p);
+  std::map<std::uint32_t, Bytes> next_expected;
+  std::int64_t sequential = 0;
+  std::int64_t total = 0;
+  for (const auto& r : requests) {
+    const auto it = next_expected.find(r.file);
+    if (it != next_expected.end() && it->second == r.offset) ++sequential;
+    next_expected[r.file] = r.offset + r.length;
+    ++total;
+  }
+  // Everything except cycle-rewind boundaries is sequential.
+  EXPECT_GT(static_cast<double>(sequential) / static_cast<double>(total), 0.85);
+}
+
+TEST(Generator, RewindRestartsEachCycle) {
+  const AppProfile p = two_burst_profile();  // rewind defaults to true
+  const auto requests = AppRequestGenerator::generate_all(p);
+  // First request of every cycle's read burst starts at offset 0.
+  std::int64_t zero_offsets = 0;
+  for (const auto& r : requests) {
+    if (!r.write && r.offset == 0) ++zero_offsets;
+  }
+  EXPECT_EQ(zero_offsets, p.cycles);
+}
+
+TEST(Generator, NoRewindStreamsAcrossCycles) {
+  AppProfile p = two_burst_profile();
+  p.cycle[0].rewind = false;
+  const auto requests = AppRequestGenerator::generate_all(p);
+  std::int64_t zero_offsets = 0;
+  for (const auto& r : requests) {
+    if (!r.write && r.offset == 0) ++zero_offsets;
+  }
+  // Only the very first request (and wrap-arounds, none here: 100 x 10 KB
+  // requests over a 1 MB file wrap every 100 requests = once) restart at 0.
+  EXPECT_EQ(zero_offsets, 1);
+}
+
+TEST(Generator, WrapAtFileEnd) {
+  AppProfile p = two_burst_profile();
+  p.files[0].size = 45'000;  // 4 x 10 KB requests fit, 5th wraps
+  p.cycles = 1;
+  const auto requests = AppRequestGenerator::generate_all(p);
+  for (const auto& r : requests) {
+    if (!r.write) {
+      EXPECT_LE(r.offset + r.length, 45'000 + r.length);
+    }
+  }
+  EXPECT_EQ(requests[4].offset, 0);  // wrapped
+}
+
+TEST(Generator, RoundRobinInterleavesFiles) {
+  AppProfile p = two_burst_profile();
+  p.cycle[0].files = {0, 1};
+  const auto requests = AppRequestGenerator::generate_all(p);
+  EXPECT_EQ(requests[0].file, 1u);  // 1-based ids
+  EXPECT_EQ(requests[1].file, 2u);
+  EXPECT_EQ(requests[2].file, 1u);
+}
+
+TEST(Generator, AsyncFlagPropagates) {
+  AppProfile p = two_burst_profile();
+  p.cycle[0].async = true;
+  const auto requests = AppRequestGenerator::generate_all(p);
+  for (const auto& r : requests) {
+    EXPECT_EQ(r.async, !r.write);
+  }
+}
+
+TEST(Generator, EveryCyclesBurstSkipsCycles) {
+  AppProfile p = two_burst_profile();
+  p.cycle[1].every_cycles = 5;  // writes only once over 5 cycles
+  const auto requests = AppRequestGenerator::generate_all(p);
+  std::int64_t writes = 0;
+  for (const auto& r : requests) writes += r.write;
+  EXPECT_EQ(writes, 8);
+  EXPECT_EQ(total_cpu(p), p.cpu_time);
+}
+
+TEST(Generator, BurstsAreBurstyInTime) {
+  AppProfile p = two_burst_profile();
+  p.burst_cpu_fraction = 0.1;
+  const auto requests = AppRequestGenerator::generate_all(p);
+  // The first request of each burst carries the big think-time gap; the rest
+  // carry thin gaps. Compare max gap to median gap.
+  std::vector<std::int64_t> gaps;
+  for (const auto& r : requests) gaps.push_back(r.compute.count());
+  std::sort(gaps.begin(), gaps.end());
+  const auto median = gaps[gaps.size() / 2];
+  const auto max = gaps.back();
+  EXPECT_GT(max, median * 20);
+}
+
+TEST(Generator, StartupComesFirstFinaleLast) {
+  AppProfile p = two_burst_profile();
+  p.startup.push_back({{0}, /*write=*/false, 77, 3});
+  p.finale.push_back({{1}, /*write=*/true, 99, 2});
+  const auto requests = AppRequestGenerator::generate_all(p);
+  EXPECT_EQ(requests.front().length, 77);
+  EXPECT_EQ(requests.back().length, 99);
+}
+
+TEST(Generator, InvalidProfileThrowsOnConstruction) {
+  AppProfile p = two_burst_profile();
+  p.cycles = 0;
+  EXPECT_THROW(AppRequestGenerator{p}, ConfigError);
+}
+
+}  // namespace
+}  // namespace craysim::workload

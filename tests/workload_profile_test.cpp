@@ -1,0 +1,124 @@
+// AppProfile arithmetic and validation.
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace craysim::workload {
+namespace {
+
+AppProfile base_profile() {
+  AppProfile p;
+  p.name = "test";
+  p.cpu_time = Ticks::from_seconds(10);
+  p.cycles = 4;
+  p.files = {{"a", 1'000'000}, {"b", 2'000'000}};
+  p.cycle.push_back({{0}, /*write=*/false, /*async=*/false, 1000, 10});
+  return p;
+}
+
+TEST(Profile, TotalsSimpleCycle) {
+  const AppProfile p = base_profile();
+  EXPECT_EQ(p.total_requests(), 40);
+  EXPECT_EQ(p.total_read_bytes(), 40'000);
+  EXPECT_EQ(p.total_write_bytes(), 0);
+  EXPECT_EQ(p.total_bytes(), 40'000);
+  EXPECT_EQ(p.data_set_size(), 3'000'000);
+}
+
+TEST(Profile, TotalsWithEdgesAndWrites) {
+  AppProfile p = base_profile();
+  p.startup.push_back({{0}, /*write=*/false, 500, 4});
+  p.finale.push_back({{1}, /*write=*/true, 2000, 3});
+  p.cycle.push_back({{1}, /*write=*/true, /*async=*/false, 100, 5});
+  EXPECT_EQ(p.total_requests(), 40 + 4 + 3 + 20);
+  EXPECT_EQ(p.total_read_bytes(), 40'000 + 2'000);
+  EXPECT_EQ(p.total_write_bytes(), 6'000 + 2'000);
+}
+
+TEST(Profile, EveryCyclesOccurrences) {
+  AppProfile p = base_profile();
+  CycleBurst checkpoint{{1}, /*write=*/true, /*async=*/false, 1000, 2};
+  checkpoint.every_cycles = 2;  // cycles 0 and 2 of 4
+  p.cycle.push_back(checkpoint);
+  EXPECT_EQ(p.total_requests(), 40 + 4);
+  checkpoint.phase = 1;  // cycles 1 and 3
+  p.cycle.back() = checkpoint;
+  EXPECT_EQ(p.total_requests(), 40 + 4);
+  checkpoint.phase = 0;
+  checkpoint.every_cycles = 3;  // cycles 0 and 3
+  p.cycle.back() = checkpoint;
+  EXPECT_EQ(p.total_requests(), 40 + 4);
+}
+
+TEST(ProfileValidate, AcceptsGoodProfile) { EXPECT_NO_THROW(base_profile().validate()); }
+
+TEST(ProfileValidate, RejectsBadCpuTime) {
+  AppProfile p = base_profile();
+  p.cpu_time = Ticks::zero();
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsZeroCycles) {
+  AppProfile p = base_profile();
+  p.cycles = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsNoFiles) {
+  AppProfile p = base_profile();
+  p.files.clear();
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsBadFractions) {
+  AppProfile p = base_profile();
+  p.burst_cpu_fraction = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_profile();
+  p.edge_cpu_fraction = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_profile();
+  p.gap_jitter = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsOutOfRangeFileIndex) {
+  AppProfile p = base_profile();
+  p.cycle.push_back({{7}, false, false, 100, 1});
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsEmptyBurstFileList) {
+  AppProfile p = base_profile();
+  p.cycle.push_back({{}, false, false, 100, 1});
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsNonPositiveRequestSize) {
+  AppProfile p = base_profile();
+  p.cycle[0].request_size = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsNegativeRequestCount) {
+  AppProfile p = base_profile();
+  p.cycle[0].requests = -1;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsBadEveryCycles) {
+  AppProfile p = base_profile();
+  p.cycle[0].every_cycles = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProfileValidate, RejectsNoIoAtAll) {
+  AppProfile p = base_profile();
+  p.cycle[0].requests = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace craysim::workload

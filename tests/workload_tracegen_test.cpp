@@ -1,0 +1,119 @@
+// Trace synthesis: wall-clock model, processTime semantics, merging.
+#include "workload/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim::workload {
+namespace {
+
+AppProfile small_profile() {
+  AppProfile p;
+  p.name = "tg-test";
+  p.cpu_time = Ticks::from_seconds(2);
+  p.cycles = 3;
+  p.files = {{"a", 500'000}};
+  p.cycle.push_back({{0}, /*write=*/false, /*async=*/false, 10'000, 6});
+  return p;
+}
+
+TEST(TraceGen, StartTimesMonotonic) {
+  const auto trace = synthesize_trace(small_profile());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].start_time, trace[i - 1].start_time);
+  }
+}
+
+TEST(TraceGen, ProcessTimeEqualsComputeGaps) {
+  const AppProfile p = small_profile();
+  const auto requests = AppRequestGenerator::generate_all(p);
+  const auto trace = synthesize_trace(p);
+  ASSERT_EQ(trace.size(), requests.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].process_time, requests[i].compute);
+  }
+}
+
+TEST(TraceGen, SyncWallIncludesCompletions) {
+  TraceGenOptions options;
+  options.base_service = Ticks::from_ms(1);
+  options.device_mb_s = 10.0;
+  const auto trace = synthesize_trace(small_profile(), options);
+  // Wall time of the last record >= total CPU so far + completions so far.
+  Ticks cpu;
+  Ticks completions;
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    cpu += trace[i].process_time;
+    completions += trace[i].completion_time;
+  }
+  cpu += trace.back().process_time;
+  EXPECT_EQ(trace.back().start_time, cpu + completions);
+}
+
+TEST(TraceGen, AsyncDoesNotWaitForCompletion) {
+  AppProfile p = small_profile();
+  p.cycle[0].async = true;
+  TraceGenOptions options;
+  options.base_service = Ticks::from_ms(10);  // big: would dominate if waited
+  options.async_submit = Ticks::from_us(10);
+  const auto sync_trace = synthesize_trace(small_profile(), options);
+  const auto async_trace = synthesize_trace(p, options);
+  EXPECT_LT(async_trace.back().start_time, sync_trace.back().start_time);
+  for (const auto& r : async_trace) EXPECT_TRUE(r.is_async());
+}
+
+TEST(TraceGen, CompletionTimeScalesWithSize) {
+  AppProfile p = small_profile();
+  TraceGenOptions options;
+  options.base_service = Ticks::zero();
+  options.device_mb_s = 1.0;  // 1 MB/s: 10 KB -> 10 ms -> 1000 ticks
+  const auto trace = synthesize_trace(p, options);
+  EXPECT_EQ(trace.front().completion_time, Ticks(1000));
+}
+
+TEST(TraceGen, IdsAndOffsets) {
+  TraceGenOptions options;
+  options.process_id = 42;
+  options.file_id_base = 100;
+  options.first_operation_id = 7;
+  const auto trace = synthesize_trace(small_profile(), options);
+  EXPECT_EQ(trace.front().process_id, 42u);
+  EXPECT_EQ(trace.front().file_id, 101u);
+  EXPECT_EQ(trace.front().operation_id, 7u);
+  EXPECT_EQ(trace.back().operation_id, 6u + static_cast<std::uint32_t>(trace.size()));
+}
+
+TEST(TraceGen, StartAtShiftsEverything) {
+  TraceGenOptions options;
+  options.start_at = Ticks::from_seconds(100);
+  const auto trace = synthesize_trace(small_profile(), options);
+  EXPECT_GE(trace.front().start_time, Ticks::from_seconds(100));
+}
+
+TEST(MergeTraces, OrdersByStartTime) {
+  TraceGenOptions a;
+  a.process_id = 1;
+  TraceGenOptions b;
+  b.process_id = 2;
+  b.start_at = Ticks::from_ms(3);
+  b.first_operation_id = 1'000;
+  const auto ta = synthesize_trace(small_profile(), a);
+  const auto tb = synthesize_trace(small_profile(), b);
+  const auto merged = merge_traces({ta, tb});
+  EXPECT_EQ(merged.size(), ta.size() + tb.size());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].start_time, merged[i - 1].start_time);
+  }
+  // Merged multi-process traces must survive the wire format too.
+  EXPECT_EQ(trace::parse_trace(trace::serialize_trace(merged)), merged);
+}
+
+TEST(MergeTraces, EmptyInput) {
+  EXPECT_TRUE(merge_traces({}).empty());
+  EXPECT_TRUE(merge_traces({{}, {}}).empty());
+}
+
+}  // namespace
+}  // namespace craysim::workload
