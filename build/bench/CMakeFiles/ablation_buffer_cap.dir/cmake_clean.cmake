@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_cap.dir/ablation_buffer_cap.cpp.o"
+  "CMakeFiles/ablation_buffer_cap.dir/ablation_buffer_cap.cpp.o.d"
+  "ablation_buffer_cap"
+  "ablation_buffer_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

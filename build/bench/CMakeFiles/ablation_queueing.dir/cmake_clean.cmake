@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queueing.dir/ablation_queueing.cpp.o"
+  "CMakeFiles/ablation_queueing.dir/ablation_queueing.cpp.o.d"
+  "ablation_queueing"
+  "ablation_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_writebehind.dir/ablation_writebehind.cpp.o"
+  "CMakeFiles/ablation_writebehind.dir/ablation_writebehind.cpp.o.d"
+  "ablation_writebehind"
+  "ablation_writebehind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_writebehind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_turnaround.dir/batch_turnaround.cpp.o"
+  "CMakeFiles/batch_turnaround.dir/batch_turnaround.cpp.o.d"
+  "batch_turnaround"
+  "batch_turnaround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

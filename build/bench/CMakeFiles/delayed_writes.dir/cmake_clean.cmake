@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_writes.dir/delayed_writes.cpp.o"
+  "CMakeFiles/delayed_writes.dir/delayed_writes.cpp.o.d"
+  "delayed_writes"
+  "delayed_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

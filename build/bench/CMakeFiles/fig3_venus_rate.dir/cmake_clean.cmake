@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_venus_rate.dir/fig3_venus_rate.cpp.o"
+  "CMakeFiles/fig3_venus_rate.dir/fig3_venus_rate.cpp.o.d"
+  "fig3_venus_rate"
+  "fig3_venus_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_venus_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

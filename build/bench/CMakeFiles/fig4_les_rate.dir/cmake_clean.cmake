@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_les_rate.dir/fig4_les_rate.cpp.o"
+  "CMakeFiles/fig4_les_rate.dir/fig4_les_rate.cpp.o.d"
+  "fig4_les_rate"
+  "fig4_les_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_les_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cache32.dir/fig6_cache32.cpp.o"
+  "CMakeFiles/fig6_cache32.dir/fig6_cache32.cpp.o.d"
+  "fig6_cache32"
+  "fig6_cache32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cache32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

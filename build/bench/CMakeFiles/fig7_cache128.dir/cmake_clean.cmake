@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cache128.dir/fig7_cache128.cpp.o"
+  "CMakeFiles/fig7_cache128.dir/fig7_cache128.cpp.o.d"
+  "fig7_cache128"
+  "fig7_cache128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cache128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

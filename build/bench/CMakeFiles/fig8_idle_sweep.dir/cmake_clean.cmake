@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_idle_sweep.dir/fig8_idle_sweep.cpp.o"
+  "CMakeFiles/fig8_idle_sweep.dir/fig8_idle_sweep.cpp.o.d"
+  "fig8_idle_sweep"
+  "fig8_idle_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_idle_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_size.dir/format_size.cpp.o"
+  "CMakeFiles/format_size.dir/format_size.cpp.o.d"
+  "format_size"
+  "format_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

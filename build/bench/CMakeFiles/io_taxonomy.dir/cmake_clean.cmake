@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_taxonomy.dir/io_taxonomy.cpp.o"
+  "CMakeFiles/io_taxonomy.dir/io_taxonomy.cpp.o.d"
+  "io_taxonomy"
+  "io_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

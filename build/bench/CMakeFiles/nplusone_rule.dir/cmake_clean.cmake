@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nplusone_rule.dir/nplusone_rule.cpp.o"
+  "CMakeFiles/nplusone_rule.dir/nplusone_rule.cpp.o.d"
+  "nplusone_rule"
+  "nplusone_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nplusone_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

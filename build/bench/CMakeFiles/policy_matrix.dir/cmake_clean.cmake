@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_matrix.dir/policy_matrix.cpp.o"
+  "CMakeFiles/policy_matrix.dir/policy_matrix.cpp.o.d"
+  "policy_matrix"
+  "policy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_utilization.dir/ssd_utilization.cpp.o"
+  "CMakeFiles/ssd_utilization.dir/ssd_utilization.cpp.o.d"
+  "ssd_utilization"
+  "ssd_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rates.dir/table2_rates.cpp.o"
+  "CMakeFiles/table2_rates.dir/table2_rates.cpp.o.d"
+  "table2_rates"
+  "table2_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracer_overhead.dir/tracer_overhead.cpp.o"
+  "CMakeFiles/tracer_overhead.dir/tracer_overhead.cpp.o.d"
+  "tracer_overhead"
+  "tracer_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracer_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_queues.dir/batch_queues.cpp.o"
+  "CMakeFiles/batch_queues.dir/batch_queues.cpp.o.d"
+  "batch_queues"
+  "batch_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

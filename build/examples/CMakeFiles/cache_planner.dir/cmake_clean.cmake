@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_planner.dir/cache_planner.cpp.o"
+  "CMakeFiles/cache_planner.dir/cache_planner.cpp.o.d"
+  "cache_planner"
+  "cache_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_planner.dir/checkpoint_planner.cpp.o"
+  "CMakeFiles/checkpoint_planner.dir/checkpoint_planner.cpp.o.d"
+  "checkpoint_planner"
+  "checkpoint_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mss_staging.dir/mss_staging.cpp.o"
+  "CMakeFiles/mss_staging.dir/mss_staging.cpp.o.d"
+  "mss_staging"
+  "mss_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mss_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_sizing.dir/ssd_sizing.cpp.o"
+  "CMakeFiles/ssd_sizing.dir/ssd_sizing.cpp.o.d"
+  "ssd_sizing"
+  "ssd_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

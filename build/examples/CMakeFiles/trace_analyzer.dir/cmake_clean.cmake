@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_analyzer.dir/trace_analyzer.cpp.o"
+  "CMakeFiles/trace_analyzer.dir/trace_analyzer.cpp.o.d"
+  "trace_analyzer"
+  "trace_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_pipeline.dir/tracing_pipeline.cpp.o"
+  "CMakeFiles/tracing_pipeline.dir/tracing_pipeline.cpp.o.d"
+  "tracing_pipeline"
+  "tracing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/checkpoint.cpp" "src/analysis/CMakeFiles/craysim_analysis.dir/checkpoint.cpp.o" "gcc" "src/analysis/CMakeFiles/craysim_analysis.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/craysim_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/craysim_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/series.cpp" "src/analysis/CMakeFiles/craysim_analysis.dir/series.cpp.o" "gcc" "src/analysis/CMakeFiles/craysim_analysis.dir/series.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/craysim_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/craysim_analysis.dir/tables.cpp.o.d"
+  "/root/repo/src/analysis/taxonomy.cpp" "src/analysis/CMakeFiles/craysim_analysis.dir/taxonomy.cpp.o" "gcc" "src/analysis/CMakeFiles/craysim_analysis.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/craysim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/craysim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/craysim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_analysis.dir/checkpoint.cpp.o"
+  "CMakeFiles/craysim_analysis.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/craysim_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/craysim_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/craysim_analysis.dir/series.cpp.o"
+  "CMakeFiles/craysim_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/craysim_analysis.dir/tables.cpp.o"
+  "CMakeFiles/craysim_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/craysim_analysis.dir/taxonomy.cpp.o"
+  "CMakeFiles/craysim_analysis.dir/taxonomy.cpp.o.d"
+  "libcraysim_analysis.a"
+  "libcraysim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_batch.dir/batch.cpp.o"
+  "CMakeFiles/craysim_batch.dir/batch.cpp.o.d"
+  "libcraysim_batch.a"
+  "libcraysim_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

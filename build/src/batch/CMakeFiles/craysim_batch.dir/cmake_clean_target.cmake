@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcraysim_batch.a"
+)

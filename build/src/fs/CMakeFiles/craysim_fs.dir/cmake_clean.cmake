@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_fs.dir/file_system.cpp.o"
+  "CMakeFiles/craysim_fs.dir/file_system.cpp.o.d"
+  "CMakeFiles/craysim_fs.dir/layout.cpp.o"
+  "CMakeFiles/craysim_fs.dir/layout.cpp.o.d"
+  "CMakeFiles/craysim_fs.dir/physical.cpp.o"
+  "CMakeFiles/craysim_fs.dir/physical.cpp.o.d"
+  "libcraysim_fs.a"
+  "libcraysim_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_mss.dir/mss.cpp.o"
+  "CMakeFiles/craysim_mss.dir/mss.cpp.o.d"
+  "libcraysim_mss.a"
+  "libcraysim_mss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_mss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for craysim_mss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/craysim_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/craysim_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/sim/CMakeFiles/craysim_sim.dir/params.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/params.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/craysim_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/craysim_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/storage.cpp" "src/sim/CMakeFiles/craysim_sim.dir/storage.cpp.o" "gcc" "src/sim/CMakeFiles/craysim_sim.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/craysim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/craysim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/craysim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_sim.dir/cache.cpp.o"
+  "CMakeFiles/craysim_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/craysim_sim.dir/metrics.cpp.o"
+  "CMakeFiles/craysim_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/craysim_sim.dir/params.cpp.o"
+  "CMakeFiles/craysim_sim.dir/params.cpp.o.d"
+  "CMakeFiles/craysim_sim.dir/process.cpp.o"
+  "CMakeFiles/craysim_sim.dir/process.cpp.o.d"
+  "CMakeFiles/craysim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/craysim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/craysim_sim.dir/storage.cpp.o"
+  "CMakeFiles/craysim_sim.dir/storage.cpp.o.d"
+  "libcraysim_sim.a"
+  "libcraysim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

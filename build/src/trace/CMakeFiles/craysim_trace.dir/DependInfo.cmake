@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cpp" "src/trace/CMakeFiles/craysim_trace.dir/binary.cpp.o" "gcc" "src/trace/CMakeFiles/craysim_trace.dir/binary.cpp.o.d"
+  "/root/repo/src/trace/codec.cpp" "src/trace/CMakeFiles/craysim_trace.dir/codec.cpp.o" "gcc" "src/trace/CMakeFiles/craysim_trace.dir/codec.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/craysim_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/craysim_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/craysim_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/craysim_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/stream.cpp" "src/trace/CMakeFiles/craysim_trace.dir/stream.cpp.o" "gcc" "src/trace/CMakeFiles/craysim_trace.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/craysim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

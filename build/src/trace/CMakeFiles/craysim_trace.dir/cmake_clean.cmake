@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_trace.dir/binary.cpp.o"
+  "CMakeFiles/craysim_trace.dir/binary.cpp.o.d"
+  "CMakeFiles/craysim_trace.dir/codec.cpp.o"
+  "CMakeFiles/craysim_trace.dir/codec.cpp.o.d"
+  "CMakeFiles/craysim_trace.dir/record.cpp.o"
+  "CMakeFiles/craysim_trace.dir/record.cpp.o.d"
+  "CMakeFiles/craysim_trace.dir/stats.cpp.o"
+  "CMakeFiles/craysim_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/craysim_trace.dir/stream.cpp.o"
+  "CMakeFiles/craysim_trace.dir/stream.cpp.o.d"
+  "libcraysim_trace.a"
+  "libcraysim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_tracer.dir/pipeline.cpp.o"
+  "CMakeFiles/craysim_tracer.dir/pipeline.cpp.o.d"
+  "libcraysim_tracer.a"
+  "libcraysim_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

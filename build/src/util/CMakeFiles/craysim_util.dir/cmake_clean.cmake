@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/craysim_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/histogram.cpp.o"
+  "CMakeFiles/craysim_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/rng.cpp.o"
+  "CMakeFiles/craysim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/stats.cpp.o"
+  "CMakeFiles/craysim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/table.cpp.o"
+  "CMakeFiles/craysim_util.dir/table.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/text.cpp.o"
+  "CMakeFiles/craysim_util.dir/text.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/time_series.cpp.o"
+  "CMakeFiles/craysim_util.dir/time_series.cpp.o.d"
+  "CMakeFiles/craysim_util.dir/units.cpp.o"
+  "CMakeFiles/craysim_util.dir/units.cpp.o.d"
+  "libcraysim_util.a"
+  "libcraysim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

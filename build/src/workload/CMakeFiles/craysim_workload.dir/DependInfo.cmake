@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/craysim_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/craysim_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/craysim_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/craysim_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/craysim_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/craysim_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/craysim_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/craysim_workload.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/craysim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/craysim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craysim_workload.dir/generator.cpp.o"
+  "CMakeFiles/craysim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/craysim_workload.dir/profile.cpp.o"
+  "CMakeFiles/craysim_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/craysim_workload.dir/profiles.cpp.o"
+  "CMakeFiles/craysim_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/craysim_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/craysim_workload.dir/trace_gen.cpp.o.d"
+  "libcraysim_workload.a"
+  "libcraysim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craysim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

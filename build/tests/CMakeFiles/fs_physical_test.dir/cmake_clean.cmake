@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_physical_test.dir/fs_physical_test.cpp.o"
+  "CMakeFiles/fs_physical_test.dir/fs_physical_test.cpp.o.d"
+  "fs_physical_test"
+  "fs_physical_test.pdb"
+  "fs_physical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_physical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_property_test.dir/fs_property_test.cpp.o"
+  "CMakeFiles/fs_property_test.dir/fs_property_test.cpp.o.d"
+  "fs_property_test"
+  "fs_property_test.pdb"
+  "fs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

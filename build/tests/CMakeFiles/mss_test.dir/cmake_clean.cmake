@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mss_test.dir/mss_test.cpp.o"
+  "CMakeFiles/mss_test.dir/mss_test.cpp.o.d"
+  "mss_test"
+  "mss_test.pdb"
+  "mss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_cache_test.cpp" "tests/CMakeFiles/sim_cache_test.dir/sim_cache_test.cpp.o" "gcc" "tests/CMakeFiles/sim_cache_test.dir/sim_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/craysim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/craysim_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mss/CMakeFiles/craysim_mss.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/craysim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/craysim_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/craysim_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/craysim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/craysim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/craysim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

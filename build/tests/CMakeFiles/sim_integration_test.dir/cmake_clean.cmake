@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_integration_test.dir/sim_integration_test.cpp.o"
+  "CMakeFiles/sim_integration_test.dir/sim_integration_test.cpp.o.d"
+  "sim_integration_test"
+  "sim_integration_test.pdb"
+  "sim_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_multicpu_test.dir/sim_multicpu_test.cpp.o"
+  "CMakeFiles/sim_multicpu_test.dir/sim_multicpu_test.cpp.o.d"
+  "sim_multicpu_test"
+  "sim_multicpu_test.pdb"
+  "sim_multicpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_multicpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

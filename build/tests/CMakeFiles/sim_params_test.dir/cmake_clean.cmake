@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_params_test.dir/sim_params_test.cpp.o"
+  "CMakeFiles/sim_params_test.dir/sim_params_test.cpp.o.d"
+  "sim_params_test"
+  "sim_params_test.pdb"
+  "sim_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_storage_test.dir/sim_storage_test.cpp.o"
+  "CMakeFiles/sim_storage_test.dir/sim_storage_test.cpp.o.d"
+  "sim_storage_test"
+  "sim_storage_test.pdb"
+  "sim_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_codec_test.dir/trace_codec_test.cpp.o"
+  "CMakeFiles/trace_codec_test.dir/trace_codec_test.cpp.o.d"
+  "trace_codec_test"
+  "trace_codec_test.pdb"
+  "trace_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_record_test.dir/trace_record_test.cpp.o"
+  "CMakeFiles/trace_record_test.dir/trace_record_test.cpp.o.d"
+  "trace_record_test"
+  "trace_record_test.pdb"
+  "trace_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

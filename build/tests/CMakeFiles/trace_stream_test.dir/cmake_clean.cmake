@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_stream_test.dir/trace_stream_test.cpp.o"
+  "CMakeFiles/trace_stream_test.dir/trace_stream_test.cpp.o.d"
+  "trace_stream_test"
+  "trace_stream_test.pdb"
+  "trace_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_profile_test.dir/workload_profile_test.cpp.o"
+  "CMakeFiles/workload_profile_test.dir/workload_profile_test.cpp.o.d"
+  "workload_profile_test"
+  "workload_profile_test.pdb"
+  "workload_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

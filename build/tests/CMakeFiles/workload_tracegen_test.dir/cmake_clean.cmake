@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tracegen_test.dir/workload_tracegen_test.cpp.o"
+  "CMakeFiles/workload_tracegen_test.dir/workload_tracegen_test.cpp.o.d"
+  "workload_tracegen_test"
+  "workload_tracegen_test.pdb"
+  "workload_tracegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tracegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_units_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_record_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_binary_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_physical_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_tracegen_test[1]_include.cmake")
+include("/root/repo/build/tests/tracer_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_multicpu_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_annotated_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/mss_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_params_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
