@@ -1,0 +1,117 @@
+// Fault-injection sweep: how well does lossy-pipeline recovery preserve the
+// paper's summary statistics as the collection channel degrades, and what do
+// injected disk failures cost the Section 6 simulator?
+//
+// Sweeps packet-drop rates through the tracer and reports recovered-trace
+// fidelity against the lossless stream, then sweeps disk transient-error
+// rates through the simulator and reports the retry/backoff bill. Exits
+// nonzero if recovery accounting ever disagrees with the injected schedule.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/fault.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stats.hpp"
+#include "tracer/pipeline.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+double pct_error(double measured, double truth) {
+  if (truth == 0.0) return measured == 0.0 ? 0.0 : 100.0;
+  return 100.0 * std::abs(measured - truth) / std::abs(truth);
+}
+
+}  // namespace
+
+int main() {
+  using namespace craysim;
+  bench::heading("Fault sweep: lossy trace recovery fidelity");
+
+  const auto original = workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus));
+  const auto full = trace::compute_stats(original);
+  tracer::TracerOptions options;
+  options.entries_per_packet = 16;  // small packets so drops bite at low rates
+
+  const double drop_rates[] = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  TextTable table({"drop rate %", "packets lost", "gaps", "entries kept %", "I/O count err %",
+                   "bytes err %", "seq frac err %", "accounting"});
+  bool accounting_ok = true;
+  bool fidelity_ok = true;
+  std::vector<double> kept_pct;
+  for (const double rate : drop_rates) {
+    faults::FaultPlan plan;
+    plan.packet.drop_rate = rate;
+    const auto collector = tracer::instrument_trace(original, plan, options);
+    const auto recovered =
+        tracer::reconstruct_lossy(collector.log(), collector.sequences_issued());
+    const auto& report = recovered.report;
+
+    const bool exact = report.packets_missing == collector.stats().packets_dropped;
+    accounting_ok &= exact;
+    const auto part = trace::compute_stats(recovered.trace);
+    const double kept = 100.0 * static_cast<double>(report.entries_recovered) /
+                        static_cast<double>(collector.stats().entries);
+    const double io_err =
+        pct_error(static_cast<double>(part.io_count), static_cast<double>(full.io_count));
+    const double bytes_err =
+        pct_error(static_cast<double>(part.total_bytes()), static_cast<double>(full.total_bytes()));
+    const double seq_err = pct_error(part.sequential_fraction(), full.sequential_fraction());
+    if (rate <= 0.05) fidelity_ok &= io_err <= 10.0 && bytes_err <= 10.0 && seq_err <= 10.0;
+    kept_pct.push_back(kept);
+
+    table.row()
+        .num(100.0 * rate, 0)
+        .integer(report.packets_missing)
+        .integer(report.gap_count)
+        .num(kept, 1)
+        .num(io_err, 2)
+        .num(bytes_err, 2)
+        .num(seq_err, 2)
+        .cell(exact ? "exact" : "MISMATCH");
+  }
+  std::printf("%s", table.render().c_str());
+
+  PlotOptions plot;
+  plot.y_label = "entries kept %";
+  plot.x_label = "sweep point (see table)";
+  plot.height = 12;
+  std::printf("%s", ascii_plot(kept_pct, plot).c_str());
+
+  bench::heading("Fault sweep: simulator under injected disk failures");
+  const double error_rates[] = {0.0, 0.01, 0.05, 0.10};
+  TextTable disks({"transient rate %", "wall s", "slowdown %", "transients", "retries",
+                   "backoff s", "disks lost"});
+  double base_wall = 0.0;
+  bool survived_ok = true;
+  for (const double rate : error_rates) {
+    sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
+    params.disk_count = 4;
+    params.faults.disk.transient_error_rate = rate;
+    params.faults.disk.permanent_error_rate = rate / 20.0;
+    sim::Simulator sim(params);
+    sim.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+    sim.add_app(workload::make_profile(workload::AppId::kLes, 22));
+    const sim::SimResult result = sim.run();
+    const double wall = result.total_wall.seconds();
+    if (rate == 0.0) base_wall = wall;
+    survived_ok &= result.total_wall > Ticks::zero();
+    disks.row()
+        .num(100.0 * rate, 0)
+        .num(wall, 2)
+        .num(base_wall > 0.0 ? 100.0 * (wall - base_wall) / base_wall : 0.0, 2)
+        .integer(result.disk.transient_errors)
+        .integer(result.disk.retries)
+        .num(result.disk.retry_backoff_time.seconds(), 3)
+        .integer(result.disk.permanent_failures);
+  }
+  std::printf("%s", disks.render().c_str());
+
+  bench::check(accounting_ok, "reported missing packets always equal the injected drops");
+  bench::check(fidelity_ok, "summary statistics stay within 10% of lossless up to 5% drop");
+  bench::check(survived_ok, "the simulator completes every run, even degraded");
+  return accounting_ok && fidelity_ok && survived_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+#include "faults/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace craysim::faults {
+namespace {
+
+void check_rate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw ConfigError(std::string(name) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_rate(packet.drop_rate, "packet drop_rate");
+  check_rate(packet.duplicate_rate, "packet duplicate_rate");
+  check_rate(packet.reorder_rate, "packet reorder_rate");
+  check_rate(packet.corrupt_entry_rate, "packet corrupt_entry_rate");
+  check_rate(disk.transient_error_rate, "disk transient_error_rate");
+  check_rate(disk.permanent_error_rate, "disk permanent_error_rate");
+  check_rate(disk.latency_spike_rate, "disk latency_spike_rate");
+  if (disk.max_retries < 0) throw ConfigError("disk max_retries must be >= 0");
+  if (disk.retry_backoff < Ticks::zero()) throw ConfigError("disk retry_backoff must be >= 0");
+  if (disk.latency_spike < Ticks::zero()) throw ConfigError("disk latency_spike must be >= 0");
+  if (disk.offline_after_consecutive < 1) {
+    throw ConfigError("disk offline_after_consecutive must be >= 1");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
+  plan_.validate();
+}
+
+bool FaultInjector::drop_packet() { return rng_.chance(plan_.packet.drop_rate); }
+
+bool FaultInjector::duplicate_packet() { return rng_.chance(plan_.packet.duplicate_rate); }
+
+bool FaultInjector::reorder_packet() { return rng_.chance(plan_.packet.reorder_rate); }
+
+bool FaultInjector::corrupt_entry() { return rng_.chance(plan_.packet.corrupt_entry_rate); }
+
+std::int64_t FaultInjector::corruption_selector(std::int64_t choices) {
+  return rng_.uniform_int(0, choices - 1);
+}
+
+DiskOutcome FaultInjector::disk_attempt_outcome() {
+  // One draw decides both kinds so the schedule does not shift when only one
+  // rate is nonzero vs. both.
+  const double roll = rng_.next_double();
+  if (roll < plan_.disk.permanent_error_rate) return DiskOutcome::kPermanent;
+  if (roll < plan_.disk.permanent_error_rate + plan_.disk.transient_error_rate) {
+    return DiskOutcome::kTransient;
+  }
+  return DiskOutcome::kOk;
+}
+
+bool FaultInjector::latency_spike() { return rng_.chance(plan_.disk.latency_spike_rate); }
+
+Ticks FaultInjector::backoff_for_attempt(std::int32_t attempt) const {
+  if (attempt < 1) return Ticks::zero();
+  const std::int32_t doublings = attempt - 1 > 20 ? 20 : attempt - 1;  // cap: no overflow
+  return plan_.disk.retry_backoff * (std::int64_t{1} << doublings);
+}
+
+}  // namespace craysim::faults

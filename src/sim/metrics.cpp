@@ -32,6 +32,19 @@ std::string SimResult::summary() const {
                 format_bytes(disk.bytes_read).c_str(), format_bytes(disk.bytes_written).c_str(),
                 disk.busy_time.seconds(), disk.queue_wait_time.seconds());
   out += buf;
+  // Only surfaced when fault injection actually fired, so fault-free runs
+  // keep the summary byte-identical to the pre-fault substrate.
+  if (disk.any_faults()) {
+    std::snprintf(buf, sizeof buf,
+                  "disk faults: %lld transient errors, %lld retries (%.3f s backoff), %lld disks "
+                  "lost, %lld redirected I/Os, %lld latency spikes\n",
+                  static_cast<long long>(disk.transient_errors),
+                  static_cast<long long>(disk.retries), disk.retry_backoff_time.seconds(),
+                  static_cast<long long>(disk.permanent_failures),
+                  static_cast<long long>(disk.redirected_ios),
+                  static_cast<long long>(disk.latency_spikes));
+    out += buf;
+  }
   for (const auto& p : processes) {
     std::snprintf(buf, sizeof buf,
                   "  proc %u %-10s finished %.2f s (cpu %.2f s, blocked %.2f s, %lld I/Os, %s R, "

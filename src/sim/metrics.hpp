@@ -56,6 +56,19 @@ struct DeviceMetrics {
   Bytes bytes_written = 0;
   Ticks busy_time;        ///< summed service time
   Ticks queue_wait_time;  ///< waiting behind earlier requests (queueing mode)
+  // Fault-injection observability (all zero without an active FaultPlan, so
+  // the drill is debuggable from the summary alone).
+  std::int64_t transient_errors = 0;    ///< injected retryable failures
+  std::int64_t retries = 0;             ///< retry attempts issued (with backoff)
+  std::int64_t permanent_failures = 0;  ///< disks taken offline for good
+  std::int64_t redirected_ios = 0;      ///< I/Os re-homed to a surviving disk
+  std::int64_t latency_spikes = 0;      ///< injected service-time spikes
+  Ticks retry_backoff_time;             ///< summed exponential-backoff delay
+
+  [[nodiscard]] bool any_faults() const {
+    return transient_errors != 0 || retries != 0 || permanent_failures != 0 ||
+           redirected_ios != 0 || latency_spikes != 0;
+  }
 };
 
 struct SimResult {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "faults/fault.hpp"
 #include "util/units.hpp"
 
 namespace craysim::sim {
@@ -98,6 +99,9 @@ struct SimParams {
   /// SimResult::annotated_trace.
   bool record_trace = false;
   std::uint64_t seed = 0xC7A9;
+  /// Injected failures (disk section only; the tracer consumes its own
+  /// plan). The default plan injects nothing and is zero-cost.
+  faults::FaultPlan faults;
 
   /// Named presets.
   [[nodiscard]] static SimParams paper_main_memory(Bytes cache_capacity);

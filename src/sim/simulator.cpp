@@ -12,7 +12,8 @@ Simulator::Simulator(SimParams params) : params_(std::move(params)) {
   if (params_.cpu_count < 1) throw ConfigError("cpu_count must be >= 1");
   cpus_.resize(static_cast<std::size_t>(params_.cpu_count));
   disk_ = std::make_unique<DiskModel>(params_.disk, params_.position, params_.disk_count,
-                                      params_.disk_queueing, params_.seed ^ 0xd15c);
+                                      params_.disk_queueing, params_.seed ^ 0xd15c,
+                                      params_.faults);
   if (params_.use_cache) {
     cache_ = std::make_unique<BufferCache>(params_.cache, result_.cache);
   }

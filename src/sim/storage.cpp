@@ -8,11 +8,14 @@
 namespace craysim::sim {
 
 DiskModel::DiskModel(const DiskParams& params, const PositionParams& position,
-                     std::int32_t disk_count, bool queueing, std::uint64_t seed)
-    : params_(params), position_(position), queueing_(queueing), rng_(seed) {
+                     std::int32_t disk_count, bool queueing, std::uint64_t seed,
+                     const faults::FaultPlan& plan)
+    : params_(params), position_(position), queueing_(queueing), rng_(seed),
+      online_count_(disk_count) {
   if (disk_count < 1) throw ConfigError("disk_count must be >= 1");
   if (params_.bandwidth_mb_s <= 0) throw ConfigError("disk bandwidth must be positive");
   disks_.resize(static_cast<std::size_t>(disk_count));
+  if (plan.disk_faults_enabled()) injector_.emplace(plan);
 }
 
 Ticks DiskModel::transfer_time(Bytes length) const {
@@ -40,11 +43,91 @@ std::int64_t DiskModel::position_of(std::uint32_t file, Bytes offset) {
   return it->second + offset;
 }
 
+std::size_t DiskModel::next_online(std::size_t idx) const {
+  for (std::size_t step = 0; step < disks_.size(); ++step) {
+    const std::size_t candidate = (idx + step) % disks_.size();
+    if (!disks_[candidate].offline) return candidate;
+  }
+  throw FaultError("no online disk left in the farm");
+}
+
+bool DiskModel::take_offline(std::size_t idx) {
+  if (online_count_ <= 1) return false;  // the last survivor keeps limping
+  disks_[idx].offline = true;
+  --online_count_;
+  ++metrics_.permanent_failures;
+  return true;
+}
+
+std::size_t DiskModel::run_fault_schedule(std::size_t idx, Ticks& fault_delay) {
+  const faults::DiskFaultParams& knobs = injector_->plan().disk;
+  // Per-I/O safety valve: with pathological rates (e.g. permanent = 1.0 on a
+  // one-disk farm) no schedule can ever succeed; give up loudly rather than
+  // spin. Generous enough that any survivable schedule completes first.
+  const std::int64_t attempt_cap =
+      (static_cast<std::int64_t>(knobs.max_retries) + 2) *
+          static_cast<std::int64_t>(disks_.size()) + 16;
+  std::int32_t attempt = 0;  // retries spent on the current disk
+  for (std::int64_t total = 0; total < attempt_cap; ++total) {
+    DiskState& disk = disks_[idx];
+    switch (injector_->disk_attempt_outcome()) {
+      case faults::DiskOutcome::kOk:
+        disk.consecutive_errors = 0;
+        return idx;
+      case faults::DiskOutcome::kPermanent:
+        if (take_offline(idx)) {
+          const std::size_t home = idx;
+          idx = next_online(idx);
+          if (idx != home) ++metrics_.redirected_ios;
+          attempt = 0;
+          continue;
+        }
+        // Last disk: degrade the verdict to a retryable error.
+        [[fallthrough]];
+      case faults::DiskOutcome::kTransient:
+        ++metrics_.transient_errors;
+        ++disk.consecutive_errors;
+        if (disk.consecutive_errors >= knobs.offline_after_consecutive ||
+            attempt >= knobs.max_retries) {
+          // This device is not getting better: declare it dead and re-home
+          // the I/O (unless it is the last one, in which case keep trying).
+          if (take_offline(idx)) {
+            idx = next_online(idx);
+            ++metrics_.redirected_ios;
+            attempt = 0;
+            continue;
+          }
+        }
+        ++attempt;
+        ++metrics_.retries;
+        {
+          const Ticks backoff = injector_->backoff_for_attempt(attempt);
+          fault_delay += backoff;
+          metrics_.retry_backoff_time += backoff;
+        }
+        continue;
+    }
+  }
+  throw FaultError("disk I/O could not complete after exhausting the retry schedule");
+}
+
 Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length, bool write) {
   const std::int64_t pos = position_of(file, offset);
-  DiskState& disk = disks_[file % disks_.size()];
+  std::size_t idx = file % disks_.size();
+  Ticks fault_delay = Ticks::zero();
+  if (injector_) {  // fault path; never taken (and rng-free) for FaultPlan{}
+    const std::size_t home = idx;
+    idx = next_online(idx);
+    if (idx != home) ++metrics_.redirected_ios;
+    idx = run_fault_schedule(idx, fault_delay);
+    if (injector_->latency_spike()) {
+      ++metrics_.latency_spikes;
+      fault_delay += injector_->plan().disk.latency_spike;
+    }
+  }
+  DiskState& disk = disks_[idx];
 
-  Ticks access = params_.controller_overhead + transfer_time(length);
+  Ticks access = params_.controller_overhead + transfer_time(length) + fault_delay;
   const bool sequential = disk.head_valid && pos == disk.head;
   if (!sequential) {
     const std::int64_t distance = disk.head_valid ? std::abs(pos - disk.head)

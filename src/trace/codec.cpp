@@ -133,6 +133,11 @@ std::optional<TraceRecord> AsciiTraceDecoder::decode_line(std::string_view line)
 
   const auto tokens = split(trimmed, ' ');
   std::size_t cursor = 1;  // token 0 is the record type
+  // Magnitude bound on every value field: 2^50 bytes (1 PiB) / ticks (~350
+  // years). Far beyond any real trace, but small enough that the block-size
+  // rescale and running start-time sum below can never overflow int64 on
+  // hostile input.
+  constexpr std::int64_t kFieldLimit = std::int64_t{1} << 50;
   auto next_int = [&](const char* field) -> std::int64_t {
     if (cursor >= tokens.size()) {
       throw TraceFormatError(std::string("missing field '") + field + "' in: " +
@@ -141,6 +146,10 @@ std::optional<TraceRecord> AsciiTraceDecoder::decode_line(std::string_view line)
     const auto v = parse_int(tokens[cursor]);
     if (!v) {
       throw TraceFormatError(std::string("unparseable field '") + field + "': " +
+                             std::string(tokens[cursor]));
+    }
+    if (*v > kFieldLimit || *v < -kFieldLimit) {
+      throw TraceFormatError(std::string("field '") + field + "' out of range: " +
                              std::string(tokens[cursor]));
     }
     ++cursor;
@@ -254,6 +263,11 @@ std::optional<TraceRecord> AsciiTraceDecoder::decode_line(std::string_view line)
 
   record.start_time = has_previous_ ? previous_start_ + start_delta : start_delta;
   if (start_delta < Ticks::zero()) throw TraceFormatError("negative start-time delta");
+  // With per-field deltas capped at 2^50 this bound keeps the running sum
+  // below 2^60, so the next addition cannot overflow either.
+  if (record.start_time > Ticks(std::int64_t{1} << 60)) {
+    throw TraceFormatError("accumulated start time out of range");
+  }
 
   validate(record);
 

@@ -21,9 +21,26 @@ std::optional<TraceRecord> TraceReader::next() {
   while (std::getline(*in_, line)) {
     ++line_number_;
     try {
-      if (auto record = decoder_.decode_line(line)) return record;
+      if (auto record = decoder_.decode_line(line)) {
+        ++report_.records_parsed;
+        return record;
+      }
     } catch (const TraceFormatError& e) {
-      throw TraceFormatError("line " + std::to_string(line_number_) + ": " + e.what());
+      if (!recovery_) {
+        throw TraceFormatError("line " + std::to_string(line_number_) + ": " + e.what());
+      }
+      // decode_line only commits decoder state after a full successful
+      // decode, so a thrown line leaves the relative-field state at the last
+      // good record and the next well-formed line resynchronizes.
+      ++report_.lines_skipped;
+      if (static_cast<std::int64_t>(report_.defects.size()) < ParseReport::kMaxRecordedDefects) {
+        report_.defects.push_back({line_number_, e.what()});
+      }
+      if (recovery_->error_budget >= 0 && report_.lines_skipped > recovery_->error_budget) {
+        throw FaultError("parse error budget of " + std::to_string(recovery_->error_budget) +
+                         " exhausted at line " + std::to_string(line_number_) + " (" + e.what() +
+                         ")");
+      }
     }
   }
   return std::nullopt;
@@ -43,6 +60,25 @@ Trace parse_trace(std::string_view text) {
   Trace trace;
   while (auto record = reader.next()) trace.push_back(*record);
   return trace;
+}
+
+RecoveredTrace parse_trace_lossy(std::string_view text, const RecoveryOptions& recovery) {
+  std::istringstream in{std::string(text)};
+  TraceReader reader(in, recovery);
+  RecoveredTrace result;
+  while (auto record = reader.next()) result.trace.push_back(*record);
+  result.report = reader.report();
+  return result;
+}
+
+RecoveredTrace load_trace_lossy(const std::string& path, const RecoveryOptions& recovery) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  TraceReader reader(in, recovery);
+  RecoveredTrace result;
+  while (auto record = reader.next()) result.trace.push_back(*record);
+  result.report = reader.report();
+  return result;
 }
 
 void save_trace(const Trace& trace, const std::string& path, std::string_view header_comment) {

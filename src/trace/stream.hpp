@@ -30,22 +30,60 @@ class TraceWriter {
   std::int64_t records_written_ = 0;
 };
 
+/// One malformed line tolerated by recoverable parsing.
+struct ParseDefect {
+  std::int64_t line = 0;  ///< 1-based line number in the input
+  std::string message;    ///< the TraceFormatError text
+};
+
+/// Accumulated by a TraceReader running in recoverable mode.
+struct ParseReport {
+  static constexpr std::int64_t kMaxRecordedDefects = 64;
+
+  std::int64_t records_parsed = 0;
+  std::int64_t lines_skipped = 0;        ///< malformed lines tolerated
+  std::vector<ParseDefect> defects;      ///< first kMaxRecordedDefects, in order
+
+  [[nodiscard]] bool clean() const { return lines_skipped == 0; }
+};
+
+/// Knobs for recoverable parsing.
+struct RecoveryOptions {
+  /// Malformed lines tolerated before the reader gives up with FaultError.
+  /// Negative = unlimited.
+  std::int64_t error_budget = 100;
+};
+
 /// Reads records from a text stream, skipping comments.
+///
+/// The default (strict) mode throws TraceFormatError, with the line number
+/// in the message, on the first malformed line. Recoverable mode — enabled
+/// by constructing with RecoveryOptions — skips malformed lines instead,
+/// accumulating a ParseReport, until the error budget is exhausted (then
+/// FaultError). A skipped line can strand later compression references; such
+/// lines are themselves skipped and counted, so recovery resynchronizes on
+/// the first line that decodes against the surviving state.
 class TraceReader {
  public:
   explicit TraceReader(std::istream& in) : in_(&in) {}
+  TraceReader(std::istream& in, const RecoveryOptions& recovery)
+      : in_(&in), recovery_(recovery) {}
 
-  /// Next record, or nullopt at end of stream. Throws TraceFormatError on
-  /// malformed input (with a line number in the message).
+  /// Next record, or nullopt at end of stream.
   [[nodiscard]] std::optional<TraceRecord> next();
 
   [[nodiscard]] std::int64_t line_number() const { return line_number_; }
   [[nodiscard]] const AsciiTraceDecoder& decoder() const { return decoder_; }
+  [[nodiscard]] bool recovering() const { return recovery_.has_value(); }
+  /// Defect log so far (meaningful in recoverable mode only).
+  [[nodiscard]] const ParseReport& report() const { return report_; }
 
  private:
   std::istream* in_;
   AsciiTraceDecoder decoder_;
   std::int64_t line_number_ = 0;
+  std::optional<RecoveryOptions> recovery_;
+  ParseReport report_;
 };
 
 /// Serializes a whole trace (optionally with a leading identification
@@ -54,6 +92,21 @@ class TraceReader {
 
 /// Parses a whole trace from text.
 [[nodiscard]] Trace parse_trace(std::string_view text);
+
+/// A recovered trace plus the defect log describing what was skipped.
+struct RecoveredTrace {
+  Trace trace;
+  ParseReport report;
+};
+
+/// Parses a whole trace in recoverable mode: malformed lines are skipped and
+/// reported rather than fatal, until the error budget runs out (FaultError).
+[[nodiscard]] RecoveredTrace parse_trace_lossy(std::string_view text,
+                                               const RecoveryOptions& recovery = {});
+
+/// File variant of parse_trace_lossy. Throws craysim::Error on I/O failure.
+[[nodiscard]] RecoveredTrace load_trace_lossy(const std::string& path,
+                                              const RecoveryOptions& recovery = {});
 
 /// File variants. Throw craysim::Error on I/O failure.
 void save_trace(const Trace& trace, const std::string& path,

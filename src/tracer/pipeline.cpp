@@ -1,6 +1,7 @@
 #include "tracer/pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "trace/record.hpp"
 
@@ -18,12 +19,49 @@ double CollectorStats::bytes_per_io() const {
   return static_cast<double>(packet_bytes) / static_cast<double>(entries);
 }
 
+ProcstatCollector::ProcstatCollector(const faults::FaultPlan& plan) {
+  if (plan.packet_faults_enabled()) injector_.emplace(plan);
+}
+
 void ProcstatCollector::receive(TracePacket packet) {
+  // The sequence number is stamped before the channel can lose the packet:
+  // a drop consumes a number, which is exactly what lets reconstruction
+  // detect the gap later.
   packet.sequence = next_sequence_++;
   ++stats_.packets;
   stats_.entries += static_cast<std::int64_t>(packet.entries.size());
   stats_.packet_bytes += packet.encoded_bytes();
-  log_.push_back(std::move(packet));
+
+  if (!injector_) {  // lossless fast path: identical to the pre-fault pipe
+    log_.push_back(std::move(packet));
+    return;
+  }
+
+  if (injector_->drop_packet()) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  for (PacketEntry& entry : packet.entries) {
+    if (!injector_->corrupt_entry()) continue;
+    ++stats_.entries_corrupted;
+    // Scramble one field to a garbage value. Negative magnitudes model the
+    // bit rot the Y-MP pipe could produce; reconstruction's sanity checks
+    // are what must catch them.
+    const std::int64_t garbage = -1 - injector_->corruption_selector(std::int64_t{1} << 30);
+    switch (injector_->corruption_selector(4)) {
+      case 0: entry.offset = garbage; break;
+      case 1: entry.length = garbage; break;
+      case 2: entry.completion_time = Ticks(garbage); break;
+      default: entry.process_time = Ticks(garbage); break;
+    }
+  }
+  const bool duplicate = injector_->duplicate_packet();
+  const bool reorder = !log_.empty() && injector_->reorder_packet();
+  if (duplicate) ++stats_.packets_duplicated;
+  if (reorder) ++stats_.packets_reordered;
+  log_.push_back(packet);
+  if (reorder) std::swap(log_[log_.size() - 2], log_.back());
+  if (duplicate) log_.push_back(std::move(packet));
 }
 
 void ProcstatCollector::account_entry(Bytes io_bytes, Ticks cpu) {
@@ -94,36 +132,138 @@ void LibraryTracer::flush_all() {
   for (const auto& key : keys) flush(key);
 }
 
-trace::Trace reconstruct(const std::vector<TracePacket>& log) {
-  trace::Trace records;
-  std::uint32_t op_id = 1;
-  for (const TracePacket& packet : log) {
-    for (const PacketEntry& entry : packet.entries) {
-      trace::TraceRecord r;
-      r.record_type = trace::make_record_type(/*logical=*/true, entry.write, entry.async);
-      r.offset = entry.offset;
-      r.length = entry.length;
-      r.start_time = entry.start_time;
-      r.completion_time = entry.completion_time;
-      r.process_time = entry.process_time;
-      r.file_id = packet.file_id;
-      r.process_id = packet.process_id;
-      records.push_back(r);
-    }
-  }
-  // The merge step: packets arrive file-batched, so the stream must be
-  // re-sorted by start time. stable_sort keeps same-tick ordering by packet
-  // arrival, matching how procstat post-processing behaved.
+namespace {
+
+trace::TraceRecord entry_to_record(const TracePacket& packet, const PacketEntry& entry) {
+  trace::TraceRecord r;
+  r.record_type = trace::make_record_type(/*logical=*/true, entry.write, entry.async);
+  r.offset = entry.offset;
+  r.length = entry.length;
+  r.start_time = entry.start_time;
+  r.completion_time = entry.completion_time;
+  r.process_time = entry.process_time;
+  r.file_id = packet.file_id;
+  r.process_id = packet.process_id;
+  return r;
+}
+
+// The merge step: packets arrive file-batched, so the stream must be
+// re-sorted by start time. stable_sort keeps same-tick ordering by packet
+// arrival, matching how procstat post-processing behaved.
+void merge_and_number(trace::Trace& records) {
   std::stable_sort(records.begin(), records.end(),
                    [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
                      return a.start_time < b.start_time;
                    });
+  std::uint32_t op_id = 1;
   for (auto& r : records) r.operation_id = op_id++;
+}
+
+// In-flight corruption scrambles fields to negative values; a sane entry has
+// none. (A legitimate entry can never go negative: offsets/lengths are byte
+// counts and the library records durations, not deltas that could underflow.)
+bool entry_sane(const PacketEntry& entry) {
+  return entry.offset >= 0 && entry.length >= 0 && entry.start_time >= Ticks::zero() &&
+         entry.completion_time >= Ticks::zero() && entry.process_time >= Ticks::zero();
+}
+
+}  // namespace
+
+trace::Trace reconstruct(const std::vector<TracePacket>& log) {
+  trace::Trace records;
+  for (const TracePacket& packet : log) {
+    for (const PacketEntry& entry : packet.entries) {
+      records.push_back(entry_to_record(packet, entry));
+    }
+  }
+  merge_and_number(records);
   return records;
 }
 
-ProcstatCollector instrument_trace(const trace::Trace& trace, const TracerOptions& options) {
-  ProcstatCollector collector;
+ReconstructionResult reconstruct_lossy(const std::vector<TracePacket>& log,
+                                       std::uint64_t sequences_issued) {
+  ReconstructionResult result;
+  ReconstructionReport& report = result.report;
+  report.packets_delivered = static_cast<std::int64_t>(log.size());
+
+  // Arrival-order scan: anything below the running maximum arrived late.
+  std::uint64_t max_seen = 0;
+  bool any_seen = false;
+  for (const TracePacket& packet : log) {
+    if (any_seen && packet.sequence < max_seen) ++report.out_of_order_packets;
+    max_seen = any_seen ? std::max(max_seen, packet.sequence) : packet.sequence;
+    any_seen = true;
+  }
+
+  // Resequence: sort by sequence number (arrival order breaks ties so the
+  // first delivery of a duplicated packet wins), then deduplicate.
+  std::vector<std::size_t> order(log.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return log[a].sequence < log[b].sequence;
+  });
+  std::vector<const TracePacket*> kept;
+  kept.reserve(order.size());
+  for (const std::size_t idx : order) {
+    if (!kept.empty() && kept.back()->sequence == log[idx].sequence) {
+      ++report.duplicates_discarded;
+      continue;
+    }
+    kept.push_back(&log[idx]);
+  }
+
+  // Gap scan over the resequenced stream. The expected range is
+  // [0, sequences_issued) when the collector's count is known, otherwise
+  // everything up to the highest sequence actually delivered.
+  const std::uint64_t expected_total =
+      sequences_issued > 0 ? sequences_issued : (any_seen ? max_seen + 1 : 0);
+  std::uint64_t expected = 0;
+  const TracePacket* previous = nullptr;
+  auto note_gap = [&](std::uint64_t first_missing, std::uint64_t next_present,
+                      const TracePacket* after) {
+    SequenceGap gap;
+    gap.first_missing = first_missing;
+    gap.missing = static_cast<std::int64_t>(next_present - first_missing);
+    // Per-file batching means neighbouring packets overlap in time, so the
+    // two bracketing entries are not ordered; normalize to a valid interval.
+    const Ticks before = previous != nullptr && !previous->entries.empty()
+                             ? previous->entries.back().start_time
+                             : Ticks::zero();
+    const Ticks after_time =
+        after != nullptr && !after->entries.empty() ? after->entries.front().start_time
+                                                    : Ticks::max();
+    gap.window_start = std::min(before, after_time);
+    gap.window_end = std::max(before, after_time);
+    ++report.gap_count;
+    report.packets_missing += gap.missing;
+    report.gaps.push_back(gap);
+  };
+  for (const TracePacket* packet : kept) {
+    if (packet->sequence > expected) note_gap(expected, packet->sequence, packet);
+    expected = packet->sequence + 1;
+    previous = packet;
+  }
+  if (expected < expected_total) note_gap(expected, expected_total, nullptr);
+
+  // Salvage entries, discarding anything corruption made insane.
+  for (const TracePacket* packet : kept) {
+    for (const PacketEntry& entry : packet->entries) {
+      if (!entry_sane(entry)) {
+        ++report.entries_discarded;
+        continue;
+      }
+      result.trace.push_back(entry_to_record(*packet, entry));
+    }
+  }
+  report.entries_recovered = static_cast<std::int64_t>(result.trace.size());
+  merge_and_number(result.trace);
+  return result;
+}
+
+namespace {
+
+void replay_into(ProcstatCollector& collector, const trace::Trace& trace,
+                 const TracerOptions& options) {
   LibraryTracer tracer(collector, options);
   for (const auto& r : trace) {
     if (r.is_comment() || !r.is_logical()) continue;
@@ -131,6 +271,20 @@ ProcstatCollector instrument_trace(const trace::Trace& trace, const TracerOption
                      r.start_time, r.completion_time, r.process_time);
   }
   tracer.finish();
+}
+
+}  // namespace
+
+ProcstatCollector instrument_trace(const trace::Trace& trace, const TracerOptions& options) {
+  ProcstatCollector collector;
+  replay_into(collector, trace, options);
+  return collector;
+}
+
+ProcstatCollector instrument_trace(const trace::Trace& trace, const faults::FaultPlan& plan,
+                                   const TracerOptions& options) {
+  ProcstatCollector collector(plan);
+  replay_into(collector, trace, options);
   return collector;
 }
 

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "trace/stream.hpp"
 #include "tracer/packet.hpp"
 
@@ -30,12 +32,18 @@ struct TracerOptions {
 /// Aggregate statistics kept by the vendor hooks (procstat got these for
 /// free; we reproduce them as the collector's running totals).
 struct CollectorStats {
-  std::int64_t packets = 0;
+  std::int64_t packets = 0;  ///< packets the library emitted (= sequence numbers issued)
   std::int64_t entries = 0;
   std::int64_t packet_bytes = 0;
   std::int64_t forced_flushes = 0;
   Bytes traced_io_bytes = 0;
   Ticks tracing_cpu;  ///< total instrumentation CPU spent
+  // Channel faults injected between library and procstat (all zero when the
+  // collector runs without a FaultPlan).
+  std::int64_t packets_dropped = 0;
+  std::int64_t packets_duplicated = 0;
+  std::int64_t packets_reordered = 0;
+  std::int64_t entries_corrupted = 0;
 
   /// Tracing CPU per traced I/O, as a fraction of one I/O system call.
   [[nodiscard]] double overhead_fraction(Ticks io_syscall_time) const;
@@ -43,13 +51,22 @@ struct CollectorStats {
   [[nodiscard]] double bytes_per_io() const;
 };
 
-/// Receives packets (the paper's procstat daemon fed through a pipe).
+/// Receives packets (the paper's procstat daemon fed through a pipe). When
+/// constructed with a FaultPlan whose packet faults are enabled, the pipe is
+/// lossy: packets may be dropped (their sequence number is still consumed),
+/// duplicated, delivered out of order, or have entries corrupted in flight.
 class ProcstatCollector {
  public:
+  ProcstatCollector() = default;
+  explicit ProcstatCollector(const faults::FaultPlan& plan);
+
   void receive(TracePacket packet);
 
   [[nodiscard]] const std::vector<TracePacket>& log() const { return log_; }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+  /// Sequence numbers issued so far; reconstruct_lossy needs this to detect
+  /// packets dropped at the very end of the run.
+  [[nodiscard]] std::uint64_t sequences_issued() const { return next_sequence_; }
 
   /// Internal accounting hooks used by LibraryTracer.
   void account_entry(Bytes io_bytes, Ticks cpu);
@@ -59,6 +76,7 @@ class ProcstatCollector {
   std::vector<TracePacket> log_;
   CollectorStats stats_;
   std::uint64_t next_sequence_ = 0;
+  std::optional<faults::FaultInjector> injector_;
 };
 
 /// The instrumented user-level I/O library: call record_io for every read
@@ -100,13 +118,63 @@ class LibraryTracer {
 /// Merges a packet log back into a single start-time-ordered record stream.
 /// This is the buffering/merge step the paper describes as necessary because
 /// "a packet written during the flush might contain an I/O access from much
-/// earlier in the program's execution".
+/// earlier in the program's execution". Trusts every packet (lossless path).
 [[nodiscard]] trace::Trace reconstruct(const std::vector<TracePacket>& log);
+
+/// One run of consecutive missing sequence numbers in a packet log.
+struct SequenceGap {
+  std::uint64_t first_missing = 0;  ///< lowest sequence number lost
+  std::int64_t missing = 0;         ///< how many consecutive packets are gone
+  /// Wall-clock window the loss affects, spanned by the last entry before
+  /// the gap and the first entry after it (zero/max when unbounded).
+  /// Approximate: per-file batching lets neighbouring packets overlap in
+  /// time, so the lost entries are only likely, not guaranteed, to fall in
+  /// this interval.
+  Ticks window_start;
+  Ticks window_end;
+};
+
+/// What lossy reconstruction saw and salvaged.
+struct ReconstructionReport {
+  std::int64_t packets_delivered = 0;     ///< log entries before deduplication
+  std::int64_t duplicates_discarded = 0;  ///< repeated sequence numbers dropped
+  std::int64_t out_of_order_packets = 0;  ///< arrived below an already-seen sequence
+  std::int64_t gap_count = 0;             ///< runs of missing sequence numbers
+  std::int64_t packets_missing = 0;       ///< total missing sequence numbers
+  std::int64_t entries_recovered = 0;     ///< records in the returned trace
+  std::int64_t entries_discarded = 0;     ///< failed the corruption checks
+  std::vector<SequenceGap> gaps;
+
+  [[nodiscard]] bool lossless() const {
+    return duplicates_discarded == 0 && out_of_order_packets == 0 && gap_count == 0 &&
+           entries_discarded == 0;
+  }
+};
+
+struct ReconstructionResult {
+  trace::Trace trace;
+  ReconstructionReport report;
+};
+
+/// Lossy-channel reconstruction: resequences out-of-order packets, discards
+/// duplicates, detects sequence gaps, and drops entries whose fields fail
+/// basic sanity checks (negative offset/length/times — the shapes in-flight
+/// corruption produces). `sequences_issued` is the collector's count of
+/// issued sequence numbers (ProcstatCollector::sequences_issued()), letting
+/// trailing drops register as a gap; pass 0 to infer the range from the
+/// highest delivered sequence instead.
+[[nodiscard]] ReconstructionResult reconstruct_lossy(const std::vector<TracePacket>& log,
+                                                     std::uint64_t sequences_issued = 0);
 
 /// Convenience: runs an existing logical trace through the whole pipeline
 /// (as if the application had performed those I/Os) and returns the
 /// collector, whose log can then be reconstructed and compared.
 [[nodiscard]] ProcstatCollector instrument_trace(const trace::Trace& trace,
+                                                 const TracerOptions& options = {});
+
+/// Same, but over a lossy channel described by `plan`.
+[[nodiscard]] ProcstatCollector instrument_trace(const trace::Trace& trace,
+                                                 const faults::FaultPlan& plan,
                                                  const TracerOptions& options = {});
 
 }  // namespace craysim::tracer

@@ -31,4 +31,11 @@ class FsError : public Error {
   explicit FsError(const std::string& what) : Error("fs: " + what) {}
 };
 
+/// Fault-tolerance machinery exhausted its limits: a recoverable parse ran
+/// out of error budget, or a degraded disk farm lost its last device.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error("fault: " + what) {}
+};
+
 }  // namespace craysim

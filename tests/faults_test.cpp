@@ -1,0 +1,135 @@
+// The fault-injection substrate: plan validation, determinism, rates.
+#include "faults/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace craysim::faults {
+namespace {
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.packet_faults_enabled());
+  EXPECT_FALSE(plan.disk_faults_enabled());
+  plan.validate();  // must not throw
+}
+
+TEST(FaultPlan, EnabledFollowsRates) {
+  FaultPlan plan;
+  plan.packet.drop_rate = 0.05;
+  EXPECT_TRUE(plan.packet_faults_enabled());
+  EXPECT_FALSE(plan.disk_faults_enabled());
+  EXPECT_TRUE(plan.enabled());
+
+  FaultPlan disk_only;
+  disk_only.disk.transient_error_rate = 0.1;
+  EXPECT_TRUE(disk_only.disk_faults_enabled());
+  EXPECT_FALSE(disk_only.packet_faults_enabled());
+}
+
+TEST(FaultPlan, ValidateRejectsBadKnobs) {
+  FaultPlan plan;
+  plan.packet.drop_rate = 1.5;
+  EXPECT_THROW(plan.validate(), ConfigError);
+  plan.packet.drop_rate = -0.1;
+  EXPECT_THROW(plan.validate(), ConfigError);
+  plan.packet.drop_rate = 0.0;
+  plan.disk.max_retries = -1;
+  EXPECT_THROW(plan.validate(), ConfigError);
+  plan.disk.max_retries = 3;
+  plan.disk.offline_after_consecutive = 0;
+  EXPECT_THROW(plan.validate(), ConfigError);
+}
+
+TEST(FaultInjector, ConstructorValidates) {
+  FaultPlan plan;
+  plan.disk.transient_error_rate = 2.0;
+  EXPECT_THROW(FaultInjector{plan}, ConfigError);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.packet.drop_rate = 0.3;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.drop_packet(), b.drop_packet());
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan plan;
+  plan.packet.drop_rate = 0.5;
+  plan.seed = 1;
+  FaultInjector a(plan);
+  plan.seed = 2;
+  FaultInjector b(plan);
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.drop_packet() != b.drop_packet()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, RatesRoughlyHonored) {
+  FaultPlan plan;
+  plan.packet.drop_rate = 0.05;
+  FaultInjector injector(plan);
+  int drops = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (injector.drop_packet()) ++drops;
+  }
+  const double observed = static_cast<double>(drops) / kTrials;
+  EXPECT_NEAR(observed, 0.05, 0.01);
+}
+
+TEST(FaultInjector, DiskOutcomeSplitsPermanentAndTransient) {
+  FaultPlan plan;
+  plan.disk.transient_error_rate = 0.2;
+  plan.disk.permanent_error_rate = 0.1;
+  FaultInjector injector(plan);
+  int ok = 0, transient = 0, permanent = 0;
+  constexpr int kTrials = 30'000;
+  for (int i = 0; i < kTrials; ++i) {
+    switch (injector.disk_attempt_outcome()) {
+      case DiskOutcome::kOk: ++ok; break;
+      case DiskOutcome::kTransient: ++transient; break;
+      case DiskOutcome::kPermanent: ++permanent; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(transient) / kTrials, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(permanent) / kTrials, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(ok) / kTrials, 0.7, 0.02);
+}
+
+TEST(FaultInjector, BackoffDoublesAndCaps) {
+  FaultPlan plan;
+  plan.disk.transient_error_rate = 0.1;
+  plan.disk.retry_backoff = Ticks::from_ms(1);
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.backoff_for_attempt(1), Ticks::from_ms(1));
+  EXPECT_EQ(injector.backoff_for_attempt(2), Ticks::from_ms(2));
+  EXPECT_EQ(injector.backoff_for_attempt(3), Ticks::from_ms(4));
+  EXPECT_EQ(injector.backoff_for_attempt(4), Ticks::from_ms(8));
+  // Capped doubling: huge attempt numbers stay finite and positive.
+  EXPECT_GT(injector.backoff_for_attempt(1000), Ticks::zero());
+  EXPECT_EQ(injector.backoff_for_attempt(1000), injector.backoff_for_attempt(500));
+}
+
+TEST(FaultInjector, CorruptionSelectorInRange) {
+  FaultPlan plan;
+  plan.packet.corrupt_entry_rate = 0.5;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t pick = injector.corruption_selector(4);
+    EXPECT_GE(pick, 0);
+    EXPECT_LT(pick, 4);
+  }
+}
+
+}  // namespace
+}  // namespace craysim::faults

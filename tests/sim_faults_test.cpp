@@ -1,0 +1,191 @@
+// Injected disk failures: retry with backoff, degraded mode, redirection,
+// and the zero-cost-when-off guarantee for the whole simulator.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/storage.hpp"
+#include "util/error.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim::sim {
+namespace {
+
+DiskModel make_disk(std::int32_t disks, const faults::FaultPlan& plan,
+                    bool queueing = false) {
+  return DiskModel(DiskParams{}, PositionParams{}, disks, queueing, /*seed=*/0x5eed, plan);
+}
+
+// Acceptance: under transient errors every I/O still completes, via retry
+// with exponential backoff, and the retries are observable in the metrics.
+TEST(DiskFaults, TransientErrorsRetriedToCompletion) {
+  faults::FaultPlan plan;
+  plan.seed = 21;
+  plan.disk.transient_error_rate = 0.30;
+  plan.disk.max_retries = 10;
+  plan.disk.offline_after_consecutive = 100;  // keep the disk alive
+  auto disk = make_disk(1, plan);
+  const Ticks now = Ticks::zero();
+  std::int64_t completed = 0;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const Ticks done = disk.submit(now, /*file=*/i % 7, i * 4096, 4096, i % 2 == 0);
+    EXPECT_GT(done, now);
+    ++completed;
+  }
+  EXPECT_EQ(completed, 500);
+  const DeviceMetrics& m = disk.metrics();
+  EXPECT_EQ(m.read_ops + m.write_ops, 500);
+  EXPECT_GT(m.transient_errors, 0);
+  EXPECT_EQ(m.retries, m.transient_errors);  // one disk: every error retried in place
+  EXPECT_GT(m.retry_backoff_time, Ticks::zero());
+  EXPECT_EQ(m.permanent_failures, 0);
+  EXPECT_FALSE(disk.degraded());
+  EXPECT_EQ(disk.online_disks(), 1);
+}
+
+TEST(DiskFaults, BackoffInflatesCompletionTimes) {
+  faults::FaultPlan quiet;
+  quiet.disk.transient_error_rate = 1e-12;  // enabled, but effectively never fires
+  faults::FaultPlan noisy;
+  noisy.seed = quiet.seed;
+  noisy.disk.transient_error_rate = 0.5;
+  noisy.disk.retry_backoff = Ticks::from_ms(10);
+  noisy.disk.offline_after_consecutive = 1000;
+  noisy.disk.max_retries = 50;
+  auto a = make_disk(1, quiet);
+  auto b = make_disk(1, noisy);
+  Ticks total_a = Ticks::zero(), total_b = Ticks::zero();
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    total_a += a.submit(Ticks::zero(), 1, i * 4096, 4096, false);
+    total_b += b.submit(Ticks::zero(), 1, i * 4096, 4096, false);
+  }
+  EXPECT_GT(total_b, total_a);
+  EXPECT_GT(b.metrics().retry_backoff_time, Ticks::zero());
+}
+
+// Acceptance: a permanent failure puts the farm into degraded mode and the
+// run keeps going — I/Os redirect to survivors instead of aborting.
+TEST(DiskFaults, PermanentFailureEntersDegradedModeWithoutAborting) {
+  faults::FaultPlan plan;
+  plan.seed = 33;
+  plan.disk.permanent_error_rate = 0.02;
+  auto disk = make_disk(4, plan);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const Ticks done = disk.submit(Ticks(i), i % 16, (i % 64) * 8192, 8192, i % 3 == 0);
+    EXPECT_GT(done, Ticks(i));
+  }
+  const DeviceMetrics& m = disk.metrics();
+  EXPECT_EQ(m.read_ops + m.write_ops, 1000);
+  EXPECT_GT(m.permanent_failures, 0);
+  EXPECT_GT(m.redirected_ios, 0);
+  EXPECT_TRUE(disk.degraded());
+  EXPECT_LT(disk.online_disks(), 4);
+  EXPECT_GE(disk.online_disks(), 1);
+}
+
+TEST(DiskFaults, LastSurvivorIsNeverKilled) {
+  faults::FaultPlan plan;
+  plan.seed = 44;
+  plan.disk.permanent_error_rate = 0.20;  // aggressive: tries to kill everything
+  auto disk = make_disk(3, plan);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    (void)disk.submit(Ticks(i), i % 9, 0, 4096, false);
+  }
+  EXPECT_EQ(disk.online_disks(), 1);
+  EXPECT_EQ(disk.metrics().permanent_failures, 2);
+}
+
+TEST(DiskFaults, ConsecutiveTransientErrorsOfflineADisk) {
+  faults::FaultPlan plan;
+  plan.seed = 55;
+  plan.disk.transient_error_rate = 0.9;
+  plan.disk.offline_after_consecutive = 2;
+  plan.disk.max_retries = 50;
+  auto disk = make_disk(2, plan);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    (void)disk.submit(Ticks(i), i % 4, 0, 4096, false);
+  }
+  // With a 90% error rate, two-in-a-row happens almost immediately.
+  EXPECT_GT(disk.metrics().permanent_failures, 0);
+  EXPECT_TRUE(disk.degraded());
+  EXPECT_EQ(disk.online_disks(), 1);
+  EXPECT_GT(disk.metrics().redirected_ios, 0);
+}
+
+TEST(DiskFaults, LatencySpikesCountedAndDelay) {
+  faults::FaultPlan plan;
+  plan.seed = 66;
+  plan.disk.latency_spike_rate = 0.25;
+  plan.disk.latency_spike = Ticks::from_ms(100);
+  auto disk = make_disk(1, plan);
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    (void)disk.submit(Ticks::zero(), 1, i * 4096, 4096, false);
+  }
+  EXPECT_GT(disk.metrics().latency_spikes, 50);
+  EXPECT_LT(disk.metrics().latency_spikes, 150);
+  EXPECT_EQ(disk.metrics().transient_errors, 0);
+}
+
+TEST(DiskFaults, SameSeedSameSchedule) {
+  faults::FaultPlan plan;
+  plan.seed = 77;
+  plan.disk.transient_error_rate = 0.2;
+  plan.disk.permanent_error_rate = 0.01;
+  auto a = make_disk(4, plan);
+  auto b = make_disk(4, plan);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.submit(Ticks(i), i % 8, i * 512, 4096, i % 2 == 0),
+              b.submit(Ticks(i), i % 8, i * 512, 4096, i % 2 == 0));
+  }
+  EXPECT_EQ(a.metrics().transient_errors, b.metrics().transient_errors);
+  EXPECT_EQ(a.metrics().permanent_failures, b.metrics().permanent_failures);
+  EXPECT_EQ(a.metrics().redirected_ios, b.metrics().redirected_ios);
+}
+
+// Zero-cost guarantee: a default FaultPlan{} must not perturb the disk
+// model at all — identical completion times and untouched fault counters.
+TEST(DiskFaults, DefaultPlanIsBitIdenticalToNoPlan) {
+  DiskModel bare(DiskParams{}, PositionParams{}, 4, /*queueing=*/true, 0x5eed);
+  auto planned = make_disk(4, faults::FaultPlan{}, /*queueing=*/true);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const Ticks now = Ticks(i * 10);
+    EXPECT_EQ(bare.submit(now, i % 8, (i % 32) * 4096, 8192, i % 2 == 0),
+              planned.submit(now, i % 8, (i % 32) * 4096, 8192, i % 2 == 0));
+  }
+  EXPECT_EQ(bare.metrics().busy_time, planned.metrics().busy_time);
+  EXPECT_FALSE(planned.metrics().any_faults());
+  EXPECT_FALSE(planned.degraded());
+}
+
+TEST(SimulatorFaults, RunsToCompletionUnderDiskFaults) {
+  SimParams params = SimParams::paper_main_memory(Bytes{8} * kMB);
+  params.disk_count = 4;
+  params.faults.seed = 88;
+  params.faults.disk.transient_error_rate = 0.05;
+  params.faults.disk.permanent_error_rate = 0.001;
+  Simulator sim(params);
+  sim.add_app(workload::make_profile(workload::AppId::kUpw));
+  const SimResult result = sim.run();
+  EXPECT_GT(result.total_wall, Ticks::zero());
+  EXPECT_GT(result.disk.transient_errors + result.disk.permanent_failures, 0);
+  // The drill is observable from the end-of-run summary alone.
+  EXPECT_NE(result.summary().find("disk faults:"), std::string::npos);
+}
+
+TEST(SimulatorFaults, DefaultPlanKeepsSummaryIdenticalAndFaultFree) {
+  auto run_once = [](std::uint64_t fault_seed) {
+    SimParams params = SimParams::paper_main_memory(Bytes{8} * kMB);
+    params.faults.seed = fault_seed;  // must be irrelevant when rates are 0
+    Simulator sim(params);
+    sim.add_app(workload::make_profile(workload::AppId::kVenus));
+    return sim.run();
+  };
+  const SimResult a = run_once(1);
+  const SimResult b = run_once(999);
+  EXPECT_EQ(a.total_wall, b.total_wall);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_FALSE(a.disk.any_faults());
+  EXPECT_EQ(a.summary().find("disk faults:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace craysim::sim
