@@ -5,18 +5,25 @@
 // We run a hog-prone pair (venus + les) in a mid-size cache with and without
 // per-process ownership caps.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
 namespace {
 
-craysim::sim::SimResult run_config(craysim::Bytes cap) {
+struct Config {
+  const char* name;
+  craysim::Bytes cap;
+};
+
+craysim::sim::SimResult run_config(const Config& config) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
-  params.cache.per_process_cap = cap;
+  params.cache.per_process_cap = config.cap;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kLes, 22));
@@ -29,21 +36,21 @@ int main() {
   using namespace craysim;
   bench::heading("Ablation: per-process buffer ownership caps (venus + les, 32 MB cache)");
 
-  struct Config {
-    const char* name;
-    Bytes cap;
-  };
-  const Config configs[] = {
+  const std::vector<Config> configs = {
       {"no cap (paper default)", 0},
       {"cap = 1/2 of cache", Bytes{16} * kMB},
       {"cap = 1/4 of cache", Bytes{8} * kMB},
       {"cap = 1/8 of cache", Bytes{4} * kMB},
   };
+  runner::ExperimentRunner pool;
+  const auto results = pool.run(configs, run_config);
+
   TextTable table({"configuration", "wall s", "idle s", "util %", "space waits"});
   double util_uncapped = 0;
   double util_worst_capped = 1.0;
-  for (const auto& c : configs) {
-    const auto r = run_config(c.cap);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    const auto& r = results[i];
     table.row()
         .cell(c.name)
         .num(r.total_wall.seconds(), 1)

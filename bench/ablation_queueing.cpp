@@ -4,19 +4,27 @@
 // no-queueing model on one virtual disk, (b) FIFO queueing on one disk,
 // (c) FIFO queueing across a small farm of disks with file affinity.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
 namespace {
 
-craysim::sim::SimResult run_config(bool queueing, std::int32_t disks) {
+struct Config {
+  const char* name;
+  bool queueing;
+  std::int32_t disks;
+};
+
+craysim::sim::SimResult run_config(const Config& config) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
-  params.disk_queueing = queueing;
-  params.disk_count = disks;
+  params.disk_queueing = config.queueing;
+  params.disk_count = config.disks;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
@@ -29,22 +37,21 @@ int main() {
   using namespace craysim;
   bench::heading("Ablation: disk queueing (2 x venus, 32 MB main-memory cache)");
 
-  struct Config {
-    const char* name;
-    bool queueing;
-    std::int32_t disks;
-  };
-  const Config configs[] = {
+  const std::vector<Config> configs = {
       {"paper mode: no queueing, 1 disk", false, 1},
       {"FIFO queueing, 1 disk", true, 1},
       {"FIFO queueing, 4 disks", true, 4},
       {"FIFO queueing, 16 disks", true, 16},
   };
+  runner::ExperimentRunner pool;
+  const auto results = pool.run(configs, run_config);
+
   TextTable table({"configuration", "wall s", "idle s", "util %", "disk queue wait s"});
   double wall_paper = 0;
   double wall_queue1 = 0;
-  for (const auto& c : configs) {
-    const auto r = run_config(c.queueing, c.disks);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    const auto& r = results[i];
     table.row()
         .cell(c.name)
         .num(r.total_wall.seconds(), 1)

@@ -3,19 +3,26 @@
 //  simulation of two identical copies of venus running with a 128 MB cache."
 // Also ablates read-ahead, since the section credits both techniques.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
 namespace {
 
-craysim::sim::SimResult run_config(bool write_behind, bool read_ahead) {
+struct PolicyPoint {
+  bool write_behind = false;
+  bool read_ahead = false;
+};
+
+craysim::sim::SimResult run_config(const PolicyPoint& point) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_ssd(Bytes{128} * kMB);
-  params.cache.write_behind = write_behind;
-  params.cache.read_ahead = read_ahead;
+  params.cache.write_behind = point.write_behind;
+  params.cache.read_ahead = point.read_ahead;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
@@ -28,21 +35,27 @@ int main() {
   using namespace craysim;
   bench::heading("Ablation: write-behind and read-ahead (2 x venus, 128 MB cache)");
 
+  std::vector<PolicyPoint> points;
+  for (const bool wb : {true, false}) {
+    for (const bool ra : {true, false}) points.push_back({wb, ra});
+  }
+  runner::ExperimentRunner pool;
+  const auto results = pool.run(points, run_config);
+
   TextTable table({"write-behind", "read-ahead", "idle s", "wall s", "utilization %"});
   double idle_wb = 0;
   double idle_no_wb = 0;
-  for (const bool wb : {true, false}) {
-    for (const bool ra : {true, false}) {
-      const auto r = run_config(wb, ra);
-      table.row()
-          .cell(wb ? "on" : "off")
-          .cell(ra ? "on" : "off")
-          .num(r.idle_time().seconds(), 1)
-          .num(r.total_wall.seconds(), 1)
-          .num(100.0 * r.cpu_utilization(), 1);
-      if (wb && ra) idle_wb = r.idle_time().seconds();
-      if (!wb && ra) idle_no_wb = r.idle_time().seconds();
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& [wb, ra] = points[i];
+    const auto& r = results[i];
+    table.row()
+        .cell(wb ? "on" : "off")
+        .cell(ra ? "on" : "off")
+        .num(r.idle_time().seconds(), 1)
+        .num(r.total_wall.seconds(), 1)
+        .num(100.0 * r.cpu_utilization(), 1);
+    if (wb && ra) idle_wb = r.idle_time().seconds();
+    if (!wb && ra) idle_no_wb = r.idle_time().seconds();
   }
   std::printf("%s", table.render().c_str());
   std::printf("paper: write-behind cut idle time from 211 s to ~1 s in this configuration\n");

@@ -2,8 +2,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <span>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/ascii_plot.hpp"
 #include "util/table.hpp"
@@ -36,6 +41,76 @@ inline void print_rate_figure(std::span<const double> bytes_per_s, const std::st
 
 inline void check(bool condition, const std::string& claim) {
   std::printf("[%s] %s\n", condition ? "REPRODUCED" : "DIVERGED", claim.c_str());
+}
+
+/// Consumes a "--json <path>" pair from the argument list (any position) and
+/// returns the path, or "" when the flag is absent. The remaining arguments
+/// are compacted so downstream parsers (e.g. google-benchmark's) never see
+/// the flag.
+inline std::string take_json_arg(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+/// Replaces-or-appends one named section of a flat metrics JSON file, e.g.
+///   { "codec": { "BM_Decode_ns_per_op": 1234.5 }, "cache": { ... } }
+/// Different benches each own one section of the same file (BENCH_micro.json)
+/// and may run in any order. The parser only understands files this helper
+/// wrote: top-level sections whose bodies are flat (no nested braces).
+inline void write_json_section(const std::string& path, const std::string& section,
+                               const std::vector<std::pair<std::string, double>>& values) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  if (std::ifstream in{path}) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::size_t pos = text.find('{');  // skip the outer brace
+    while (pos != std::string::npos) {
+      const std::size_t name_start = text.find('"', pos + 1);
+      if (name_start == std::string::npos) break;
+      const std::size_t name_end = text.find('"', name_start + 1);
+      const std::size_t body_start = text.find('{', name_end);
+      if (name_end == std::string::npos || body_start == std::string::npos) break;
+      const std::size_t body_end = text.find('}', body_start);
+      if (body_end == std::string::npos) break;
+      sections.emplace_back(text.substr(name_start + 1, name_end - name_start - 1),
+                            text.substr(body_start + 1, body_end - body_start - 1));
+      pos = body_end;
+    }
+  }
+
+  std::string body;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char number[64];
+    std::snprintf(number, sizeof number, "%.6g", values[i].second);
+    body += "\n    \"" + values[i].first + "\": " + number;
+    if (i + 1 < values.size()) body += ",";
+  }
+  body += "\n  ";
+
+  bool replaced = false;
+  for (auto& existing : sections) {
+    if (existing.first == section) {
+      existing.second = body;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, body);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": {" << sections[i].second << "}";
+    out << (i + 1 < sections.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
 }
 
 }  // namespace craysim::bench

@@ -6,11 +6,17 @@
 // fidelity against the lossless stream, then sweeps disk transient-error
 // rates through the simulator and reports the retry/backoff bill. Exits
 // nonzero if recovery accounting ever disagrees with the injected schedule.
+//
+// Both sweeps fan out across the experiment runner; the drop-rate points all
+// read one shared, immutable copy of the synthesized venus trace.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "faults/fault.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "trace/stats.hpp"
 #include "tracer/pipeline.hpp"
@@ -25,48 +31,81 @@ double pct_error(double measured, double truth) {
   return 100.0 * std::abs(measured - truth) / std::abs(truth);
 }
 
+struct DropResult {
+  std::int64_t packets_missing = 0;
+  std::int64_t packets_dropped = 0;
+  std::int64_t gap_count = 0;
+  std::int64_t entries_recovered = 0;
+  std::int64_t entries_sent = 0;
+  craysim::trace::TraceStats stats;
+};
+
+craysim::sim::SimResult run_disk_point(double rate) {
+  using namespace craysim;
+  sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
+  params.disk_count = 4;
+  params.faults.disk.transient_error_rate = rate;
+  params.faults.disk.permanent_error_rate = rate / 20.0;
+  sim::Simulator sim(params);
+  sim.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  sim.add_app(workload::make_profile(workload::AppId::kLes, 22));
+  return sim.run();
+}
+
 }  // namespace
 
 int main() {
   using namespace craysim;
   bench::heading("Fault sweep: lossy trace recovery fidelity");
 
-  const auto original = workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus));
-  const auto full = trace::compute_stats(original);
+  const runner::SharedTrace original = runner::share_trace(
+      workload::synthesize_trace(workload::make_profile(workload::AppId::kVenus)));
+  const auto full = trace::compute_stats(*original);
   tracer::TracerOptions options;
   options.entries_per_packet = 16;  // small packets so drops bite at low rates
 
-  const double drop_rates[] = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<double> drop_rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  runner::ExperimentRunner pool;
+  const std::vector<DropResult> drops = pool.run(drop_rates, [&](double rate) {
+    faults::FaultPlan plan;
+    plan.packet.drop_rate = rate;
+    const auto collector = tracer::instrument_trace(*original, plan, options);
+    const auto recovered =
+        tracer::reconstruct_lossy(collector.log(), collector.sequences_issued());
+    DropResult out;
+    out.packets_missing = recovered.report.packets_missing;
+    out.packets_dropped = collector.stats().packets_dropped;
+    out.gap_count = recovered.report.gap_count;
+    out.entries_recovered = recovered.report.entries_recovered;
+    out.entries_sent = collector.stats().entries;
+    out.stats = trace::compute_stats(recovered.trace);
+    return out;
+  });
+
   TextTable table({"drop rate %", "packets lost", "gaps", "entries kept %", "I/O count err %",
                    "bytes err %", "seq frac err %", "accounting"});
   bool accounting_ok = true;
   bool fidelity_ok = true;
   std::vector<double> kept_pct;
-  for (const double rate : drop_rates) {
-    faults::FaultPlan plan;
-    plan.packet.drop_rate = rate;
-    const auto collector = tracer::instrument_trace(original, plan, options);
-    const auto recovered =
-        tracer::reconstruct_lossy(collector.log(), collector.sequences_issued());
-    const auto& report = recovered.report;
-
-    const bool exact = report.packets_missing == collector.stats().packets_dropped;
+  for (std::size_t i = 0; i < drop_rates.size(); ++i) {
+    const double rate = drop_rates[i];
+    const DropResult& r = drops[i];
+    const bool exact = r.packets_missing == r.packets_dropped;
     accounting_ok &= exact;
-    const auto part = trace::compute_stats(recovered.trace);
-    const double kept = 100.0 * static_cast<double>(report.entries_recovered) /
-                        static_cast<double>(collector.stats().entries);
+    const double kept = 100.0 * static_cast<double>(r.entries_recovered) /
+                        static_cast<double>(r.entries_sent);
     const double io_err =
-        pct_error(static_cast<double>(part.io_count), static_cast<double>(full.io_count));
-    const double bytes_err =
-        pct_error(static_cast<double>(part.total_bytes()), static_cast<double>(full.total_bytes()));
-    const double seq_err = pct_error(part.sequential_fraction(), full.sequential_fraction());
+        pct_error(static_cast<double>(r.stats.io_count), static_cast<double>(full.io_count));
+    const double bytes_err = pct_error(static_cast<double>(r.stats.total_bytes()),
+                                       static_cast<double>(full.total_bytes()));
+    const double seq_err = pct_error(r.stats.sequential_fraction(), full.sequential_fraction());
     if (rate <= 0.05) fidelity_ok &= io_err <= 10.0 && bytes_err <= 10.0 && seq_err <= 10.0;
     kept_pct.push_back(kept);
 
     table.row()
         .num(100.0 * rate, 0)
-        .integer(report.packets_missing)
-        .integer(report.gap_count)
+        .integer(r.packets_missing)
+        .integer(r.gap_count)
         .num(kept, 1)
         .num(io_err, 2)
         .num(bytes_err, 2)
@@ -82,25 +121,18 @@ int main() {
   std::printf("%s", ascii_plot(kept_pct, plot).c_str());
 
   bench::heading("Fault sweep: simulator under injected disk failures");
-  const double error_rates[] = {0.0, 0.01, 0.05, 0.10};
+  const std::vector<double> error_rates = {0.0, 0.01, 0.05, 0.10};
+  const std::vector<sim::SimResult> disk_results = pool.run(error_rates, run_disk_point);
   TextTable disks({"transient rate %", "wall s", "slowdown %", "transients", "retries",
                    "backoff s", "disks lost"});
-  double base_wall = 0.0;
+  const double base_wall = disk_results[0].total_wall.seconds();
   bool survived_ok = true;
-  for (const double rate : error_rates) {
-    sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
-    params.disk_count = 4;
-    params.faults.disk.transient_error_rate = rate;
-    params.faults.disk.permanent_error_rate = rate / 20.0;
-    sim::Simulator sim(params);
-    sim.add_app(workload::make_profile(workload::AppId::kVenus, 11));
-    sim.add_app(workload::make_profile(workload::AppId::kLes, 22));
-    const sim::SimResult result = sim.run();
+  for (std::size_t i = 0; i < error_rates.size(); ++i) {
+    const sim::SimResult& result = disk_results[i];
     const double wall = result.total_wall.seconds();
-    if (rate == 0.0) base_wall = wall;
     survived_ok &= result.total_wall > Ticks::zero();
     disks.row()
-        .num(100.0 * rate, 0)
+        .num(100.0 * error_rates[i], 0)
         .num(wall, 2)
         .num(base_wall > 0.0 ? 100.0 * (wall - base_wall) / base_wall : 0.0, 2)
         .integer(result.disk.transient_errors)

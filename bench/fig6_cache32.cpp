@@ -6,10 +6,12 @@
 // the simulator's disks never queue and the two programs' bursts bunch up.
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "analysis/series.hpp"
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "workload/profiles.hpp"
@@ -18,11 +20,17 @@ int main() {
   using namespace craysim;
   bench::heading("Figure 6: 2 x venus, 32 MB main-memory cache -- disk data rate (wall time)");
 
-  sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
-  sim::Simulator simulator(params);
-  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
-  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
-  const sim::SimResult result = simulator.run();
+  // A single configuration, still dispatched through the experiment runner so
+  // every figure bench shares one execution path.
+  runner::ExperimentRunner pool;
+  const std::vector<int> points = {0};
+  sim::SimResult result = std::move(pool.run(points, [](int) {
+    sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
+    sim::Simulator simulator(params);
+    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
+    return simulator.run();
+  })[0]);
 
   auto rates = result.disk_rate.rates();
   const std::size_t window = std::min<std::size_t>(rates.size(), 200);

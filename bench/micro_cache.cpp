@@ -1,6 +1,8 @@
 // Microbenchmarks: buffer-cache planning and flush-path throughput.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "sim/cache.hpp"
 
 namespace {
@@ -102,4 +104,6 @@ BENCHMARK(BM_FlushBatchCollection);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return craysim::bench::run_micro_main(argc, argv, "cache");
+}

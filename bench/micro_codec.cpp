@@ -2,6 +2,8 @@
 // effectiveness (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include <sstream>
 
 #include "trace/codec.hpp"
@@ -72,4 +74,6 @@ BENCHMARK(BM_SynthesizeTrace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return craysim::bench::run_micro_main(argc, argv, "codec");
+}

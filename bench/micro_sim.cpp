@@ -1,6 +1,8 @@
 // Microbenchmarks: simulator event throughput and file-system translation.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "fs/file_system.hpp"
 #include "sim/simulator.hpp"
 #include "workload/profiles.hpp"
@@ -54,4 +56,6 @@ BENCHMARK(BM_FsTranslate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return craysim::bench::run_micro_main(argc, argv, "sim");
+}

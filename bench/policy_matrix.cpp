@@ -4,22 +4,34 @@
 // and les cases; this sweep shows the pattern holds across the suite —
 // write-behind is decisive for write-heavy staging codes, read-ahead for
 // sequential readers, and the compulsory-I/O programs don't care.
+//
+// The 28 independent simulations fan out across the experiment runner (set
+// CRAYSIM_RUNNER_THREADS=1 for a serial, byte-identical run).
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
 namespace {
 
-double utilization(craysim::workload::AppId app, bool read_ahead, bool write_behind) {
-  using namespace craysim;
+using namespace craysim;
+
+struct PolicyPoint {
+  workload::AppId app;
+  bool read_ahead = false;
+  bool write_behind = false;
+};
+
+double utilization(const PolicyPoint& point) {
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
-  params.cache.read_ahead = read_ahead;
-  params.cache.write_behind = write_behind;
+  params.cache.read_ahead = point.read_ahead;
+  params.cache.write_behind = point.write_behind;
   sim::Simulator simulator(params);
-  simulator.add_app(workload::make_profile(app, 11));
+  simulator.add_app(workload::make_profile(point.app, 11));
   return simulator.run().cpu_utilization();
 }
 
@@ -29,36 +41,53 @@ int main() {
   using namespace craysim;
   bench::heading("Section 6.2 policy matrix: utilization %, each app alone in a 16 MB cache");
 
+  // Policy order per app: RA+WB, RA only, WB only, neither.
+  const bool policies[4][2] = {{true, true}, {true, false}, {false, true}, {false, false}};
+  const auto apps = workload::all_apps();
+  std::vector<PolicyPoint> points;
+  for (const workload::AppId app : apps) {
+    for (const auto& policy : policies) points.push_back({app, policy[0], policy[1]});
+  }
+
+  runner::ExperimentRunner pool;
+  const std::vector<double> utils = pool.run(points, utilization);
+  const auto util_of = [&](workload::AppId app, std::size_t policy) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      if (apps[a] == app) return 100.0 * utils[a * 4 + policy];
+    }
+    return 0.0;
+  };
+
   TextTable table({"app", "RA+WB", "RA only", "WB only", "neither"});
   bool policies_help = true;
   bool les_always_fine = true;
-  for (const workload::AppId app : workload::all_apps()) {
-    const double both = 100.0 * utilization(app, true, true);
-    const double ra = 100.0 * utilization(app, true, false);
-    const double wb = 100.0 * utilization(app, false, true);
-    const double neither = 100.0 * utilization(app, false, false);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double both = 100.0 * utils[a * 4 + 0];
+    const double ra = 100.0 * utils[a * 4 + 1];
+    const double wb = 100.0 * utils[a * 4 + 2];
+    const double neither = 100.0 * utils[a * 4 + 3];
     table.row()
-        .cell(std::string(workload::app_name(app)))
+        .cell(std::string(workload::app_name(apps[a])))
         .num(both, 1)
         .num(ra, 1)
         .num(wb, 1)
         .num(neither, 1);
     policies_help &= both + 1e-9 >= neither - 5.0;  // policies never hurt much
-    if (app == workload::AppId::kLes) les_always_fine = both > 95.0;
+    if (apps[a] == workload::AppId::kLes) les_always_fine = both > 95.0;
   }
   std::printf("%s", table.render().c_str());
   std::printf("\npaper: venus benefited chiefly from write-behind; les ran with little idle\n"
               "under any policy thanks to its explicit asynchronous I/O; gcm and upw do so\n"
               "little I/O that the policies are irrelevant to them.\n");
 
-  const double venus_both = 100.0 * utilization(workload::AppId::kVenus, true, true);
-  const double venus_ra = 100.0 * utilization(workload::AppId::kVenus, true, false);
-  const double venus_none = 100.0 * utilization(workload::AppId::kVenus, false, false);
+  const double venus_both = util_of(workload::AppId::kVenus, 0);
+  const double venus_ra = util_of(workload::AppId::kVenus, 1);
+  const double venus_none = util_of(workload::AppId::kVenus, 3);
   bench::check(venus_both > 2.0 * venus_ra && venus_both > 3.0 * venus_none,
                "venus benefits strongly from write-behind on top of read-ahead");
   bench::check(les_always_fine, "les stays near fully utilized (explicit async I/O)");
-  const double gcm_worst = 100.0 * utilization(workload::AppId::kGcm, false, false);
-  const double upw_worst = 100.0 * utilization(workload::AppId::kUpw, false, false);
+  const double gcm_worst = util_of(workload::AppId::kGcm, 3);
+  const double upw_worst = util_of(workload::AppId::kUpw, 3);
   bench::check(gcm_worst > 94.0 && upw_worst > 94.0,
                "the compulsory-I/O programs are least sensitive to the cache policies");
   bench::check(policies_help, "enabling both policies never costs meaningful utilization");

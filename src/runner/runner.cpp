@@ -1,0 +1,104 @@
+#include "runner/runner.hpp"
+
+#include <cstdlib>
+
+#include "util/text.hpp"
+
+namespace craysim::runner {
+
+RunnerOptions RunnerOptions::from_env() {
+  RunnerOptions options;
+  if (const char* env = std::getenv("CRAYSIM_RUNNER_THREADS")) {
+    const auto parsed = parse_int(env);
+    if (parsed && *parsed > 0 && *parsed <= 1024) {
+      options.threads = static_cast<unsigned>(*parsed);
+    }
+  }
+  return options;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options) {
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The caller is worker number one; only the extras need threads.
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ExperimentRunner::complete_one() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (++completed_ == count_) done_cv_.notify_all();
+}
+
+void ExperimentRunner::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    std::size_t i;
+    while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
+      (*fn)(i);
+      complete_one();
+    }
+  }
+}
+
+void ExperimentRunner::run_indexed(std::size_t count,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial: no pool machinery, no synchronization.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    completed_ = 0;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller claims points alongside the pool.
+  std::size_t i;
+  while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
+    fn(i);
+    complete_one();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return completed_ == count_; });
+  fn_ = nullptr;
+}
+
+SharedTrace share_trace(trace::Trace trace) {
+  return std::make_shared<const trace::Trace>(std::move(trace));
+}
+
+SharedTrace load_shared_trace(const std::string& path) {
+  return share_trace(trace::load_trace(path));
+}
+
+}  // namespace craysim::runner

@@ -1,0 +1,145 @@
+// Parallel experiment runner: fans independent simulation runs (sweep
+// points) across a persistent thread pool and returns results in submission
+// order.
+//
+// Determinism contract: run()/run_settled() produce results identical to a
+// serial loop over the points, for any thread count, provided the point
+// function is itself deterministic and touches no shared mutable state. The
+// pool only decides *when* each point executes — result i is always written
+// by the invocation fn(points[i]), into slot i. Sweep inputs that are shared
+// across points (a parsed trace, a parameter struct) must be shared
+// immutably; SharedTrace below is the intended vehicle for the expensive
+// case.
+//
+// Set CRAYSIM_RUNNER_THREADS=1 to force serial execution (byte-identical
+// output diffing); unset or 0 uses one thread per hardware core.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "trace/stream.hpp"
+
+namespace craysim::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means one per hardware core.
+  unsigned threads = 0;
+
+  /// Honors CRAYSIM_RUNNER_THREADS when set (invalid values fall back to 0).
+  [[nodiscard]] static RunnerOptions from_env();
+};
+
+/// The outcome of one sweep point: a value, or the exception it threw. One
+/// point failing never disturbs its siblings — they run and settle normally.
+template <typename R>
+struct PointResult {
+  std::optional<R> value;
+  std::exception_ptr error;
+
+  [[nodiscard]] bool ok() const { return error == nullptr; }
+  /// The value; rethrows the point's exception if it failed.
+  [[nodiscard]] R& get() {
+    if (error) std::rethrow_exception(error);
+    return *value;
+  }
+};
+
+/// A work-stealing-free pool: workers claim point indices from one atomic
+/// counter, so there are no per-point queues, no stealing, and no ordering
+/// dependence — any thread may run any point. The calling thread
+/// participates as a worker, and with a single thread everything runs inline
+/// on the caller (no pool machinery in the serial case).
+///
+/// Not reentrant: a point function must not call back into the same runner.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions options = RunnerOptions::from_env());
+  ~ExperimentRunner();
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Total threads that execute points (pool workers + the caller).
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, count), spread across the pool; returns
+  /// once all invocations finished. fn must not throw (the typed wrappers
+  /// below settle exceptions per point before they reach the pool).
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn over every point; result i corresponds to points[i]. Exceptions
+  /// are captured per point, never propagated.
+  template <typename Point, typename Fn>
+  [[nodiscard]] auto run_settled(const std::vector<Point>& points, Fn&& fn)
+      -> std::vector<PointResult<std::decay_t<decltype(fn(points[0]))>>> {
+    using R = std::decay_t<decltype(fn(points[0]))>;
+    std::vector<PointResult<R>> results(points.size());
+    run_indexed(points.size(), [&](std::size_t i) {
+      try {
+        results[i].value.emplace(fn(points[i]));
+      } catch (...) {
+        results[i].error = std::current_exception();
+      }
+    });
+    return results;
+  }
+
+  /// Runs fn over every point and returns the values in submission order.
+  /// If any point threw, rethrows the error of the *first* failed point (by
+  /// submission order, independent of execution order) after all points have
+  /// settled.
+  template <typename Point, typename Fn>
+  [[nodiscard]] auto run(const std::vector<Point>& points, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(points[0]))>> {
+    using R = std::decay_t<decltype(fn(points[0]))>;
+    auto settled = run_settled(points, std::forward<Fn>(fn));
+    std::vector<R> values;
+    values.reserve(settled.size());
+    for (auto& result : settled) {
+      if (result.error) std::rethrow_exception(result.error);
+      values.push_back(std::move(*result.value));
+    }
+    return values;
+  }
+
+ private:
+  void worker_loop();
+  void complete_one();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< the caller waits for completion
+  // One batch at a time: the caller publishes (fn_, count_) under mutex_ and
+  // bumps generation_; workers claim indices from next_index_ until it runs
+  // past count_, bumping completed_ as they go.
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t completed_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+};
+
+/// An immutable parsed trace shared across sweep points — parse once, replay
+/// from every thread with no copies.
+using SharedTrace = std::shared_ptr<const trace::Trace>;
+
+[[nodiscard]] SharedTrace share_trace(trace::Trace trace);
+[[nodiscard]] SharedTrace load_shared_trace(const std::string& path);
+
+}  // namespace craysim::runner

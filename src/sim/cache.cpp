@@ -28,6 +28,10 @@ BufferCache::BufferCache(const CacheParams& params, CacheMetrics& metrics)
   if (params_.per_process_cap > 0 && cap_blocks_per_process_ == 0) {
     throw ConfigError("per-process cap smaller than one block");
   }
+  const auto prealloc =
+      static_cast<std::size_t>(std::min<std::int64_t>(capacity_blocks_, 1 << 16));
+  pool_.reserve(prealloc);
+  index_.reserve(prealloc);
 }
 
 std::int64_t BufferCache::owned_blocks(std::uint32_t pid) const {
@@ -35,18 +39,60 @@ std::int64_t BufferCache::owned_blocks(std::uint32_t pid) const {
   return it == owned_.end() ? 0 : it->second;
 }
 
+std::uint32_t BufferCache::find_slot(std::uint64_t key) const {
+  const std::uint32_t* slot = index_.find(key);
+  return slot != nullptr ? *slot : kNil;
+}
+
+void BufferCache::lru_push_back(std::uint32_t slot) {
+  Block& block = pool_[slot];
+  block.lru_prev = lru_tail_;
+  block.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    pool_[lru_tail_].lru_next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  lru_tail_ = slot;
+  ++clean_count_;
+}
+
+void BufferCache::lru_unlink(std::uint32_t slot) {
+  Block& block = pool_[slot];
+  if (block.lru_prev != kNil) {
+    pool_[block.lru_prev].lru_next = block.lru_next;
+  } else {
+    lru_head_ = block.lru_next;
+  }
+  if (block.lru_next != kNil) {
+    pool_[block.lru_next].lru_prev = block.lru_prev;
+  } else {
+    lru_tail_ = block.lru_prev;
+  }
+  block.lru_prev = kNil;
+  block.lru_next = kNil;
+  --clean_count_;
+}
+
+void BufferCache::free_slot(std::uint32_t slot) {
+  Block& block = pool_[slot];
+  block.live = false;
+  block.lru_prev = kNil;
+  block.lru_next = free_head_;  // free list threads through lru_next
+  free_head_ = slot;
+}
+
 bool BufferCache::can_allocate(std::int64_t need, std::uint32_t pid) const {
   if (need <= 0) return true;
-  if (need > free_blocks() + static_cast<std::int64_t>(lru_.size())) return false;
+  if (need > free_blocks() + clean_count_) return false;
   if (cap_blocks_per_process_ > 0) {
     const std::int64_t own = owned_blocks(pid);
     if (own + need > cap_blocks_per_process_) {
       // Over the cap: the process must be able to evict enough of its own
       // clean blocks to stay within its allowance.
       std::int64_t own_clean = 0;
-      for (std::uint64_t key : lru_) {
-        const auto it = blocks_.find(key);
-        if (it != blocks_.end() && it->second.owner == pid) ++own_clean;
+      for (std::uint32_t s = lru_head_; s != kNil; s = pool_[s].lru_next) {
+        if (pool_[s].owner == pid) ++own_clean;
       }
       if (own + need - own_clean > cap_blocks_per_process_) return false;
     }
@@ -55,60 +101,74 @@ bool BufferCache::can_allocate(std::int64_t need, std::uint32_t pid) const {
 }
 
 void BufferCache::evict_one(std::uint32_t prefer_owner) {
-  assert(!lru_.empty());
-  auto victim = lru_.begin();
+  assert(lru_head_ != kNil);
+  std::uint32_t victim = lru_head_;
   if (prefer_owner != 0) {
-    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-      const auto b = blocks_.find(*it);
-      if (b != blocks_.end() && b->second.owner == prefer_owner) {
-        victim = it;
+    for (std::uint32_t s = lru_head_; s != kNil; s = pool_[s].lru_next) {
+      if (pool_[s].owner == prefer_owner) {
+        victim = s;
         break;
       }
     }
   }
-  const std::uint64_t key = *victim;
-  const auto it = blocks_.find(key);
-  assert(it != blocks_.end() && it->second.state == State::kClean);
-  --owned_[it->second.owner];
-  lru_.erase(victim);
-  blocks_.erase(it);
+  Block& block = pool_[victim];
+  assert(block.live && block.state == State::kClean);
+  --owned_[block.owner];
+  lru_unlink(victim);
+  index_.erase(block.key);
+  free_slot(victim);
+  --live_count_;
   ++metrics_->evictions;
 }
 
-void BufferCache::insert_block(std::uint64_t key, State state, std::uint32_t pid,
-                               std::uint64_t op_id, bool from_readahead) {
+std::uint32_t BufferCache::insert_block(std::uint64_t key, State state, std::uint32_t pid,
+                                        std::uint64_t op_id, bool from_readahead) {
   std::uint32_t prefer = 0;
   if (cap_blocks_per_process_ > 0 && owned_blocks(pid) + 1 > cap_blocks_per_process_) {
     prefer = pid;  // stay within the allowance by evicting our own blocks
   }
   if (free_blocks() == 0 || prefer != 0) evict_one(prefer);
-  Block block;
+
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = pool_[slot].lru_next;
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Block& block = pool_[slot];
+  block = Block{};
+  block.key = key;
+  block.live = true;
   block.state = state;
   block.owner = pid;
   block.op_id = op_id;
   block.from_readahead = from_readahead;
   if (state == State::kClean) {
-    lru_.push_back(key);
-    block.lru_pos = std::prev(lru_.end());
+    lru_push_back(slot);
   } else if (state == State::kDirty) {
     dirty_.insert(key);
     ++dirty_count_;
   }
-  blocks_.emplace(key, block);
+  index_.emplace(key) = slot;
+  ++live_count_;
   ++owned_[pid];
+  return slot;
 }
 
-void BufferCache::touch_clean(std::uint64_t key, Block& block) {
+void BufferCache::touch_clean(Block& block) {
   assert(block.state == State::kClean);
-  lru_.splice(lru_.end(), lru_, block.lru_pos);
-  block.lru_pos = std::prev(lru_.end());
-  (void)key;
+  const std::uint32_t slot = slot_of(block);
+  if (lru_tail_ == slot) return;  // already MRU
+  lru_unlink(slot);
+  lru_push_back(slot);
 }
 
 void BufferCache::make_dirty(std::uint64_t key, Block& block, std::uint32_t pid) {
   switch (block.state) {
     case State::kClean:
-      lru_.erase(block.lru_pos);
+      lru_unlink(slot_of(block));
       block.state = State::kDirty;
       dirty_.insert(key);
       ++dirty_count_;
@@ -147,7 +207,7 @@ BufferCache::ReadPlan BufferCache::plan_read(std::uint32_t pid, std::uint32_t fi
   // Pass 1 (no mutation): classify blocks.
   std::int64_t missing = 0;
   for (std::int64_t b = b0; b < b1; ++b) {
-    if (!blocks_.contains(key_of(file, b))) ++missing;
+    if (!index_.contains(key_of(file, b))) ++missing;
   }
   if (missing > 0 && !can_allocate(missing, pid)) {
     plan.space_wait = true;
@@ -159,8 +219,8 @@ BufferCache::ReadPlan BufferCache::plan_read(std::uint32_t pid, std::uint32_t fi
   std::int64_t present = 0;
   for (std::int64_t b = b0; b < b1; ++b) {
     const std::uint64_t key = key_of(file, b);
-    const auto it = blocks_.find(key);
-    if (it == blocks_.end()) {
+    const std::uint32_t slot = find_slot(key);
+    if (slot == kNil) {
       const bool extends_run = !plan.fetch_runs.empty() &&
                                plan.fetch_runs.back().file == file &&
                                plan.fetch_runs.back().first_block + plan.fetch_runs.back().count == b;
@@ -171,14 +231,14 @@ BufferCache::ReadPlan BufferCache::plan_read(std::uint32_t pid, std::uint32_t fi
       continue;
     }
     ++present;
-    Block& block = it->second;
+    Block& block = pool_[slot];
     if (block.from_readahead) {
       ++metrics_->readahead_used_blocks;
       block.from_readahead = false;
       plan.readahead_hit = true;
     }
     if (block.state == State::kClean) {
-      touch_clean(key, block);
+      touch_clean(block);
     } else if (block.state == State::kFetching) {
       if (std::find(plan.join_ops.begin(), plan.join_ops.end(), block.op_id) ==
           plan.join_ops.end()) {
@@ -228,7 +288,7 @@ BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t 
 
   std::int64_t missing = 0;
   for (std::int64_t b = b0; b < b1; ++b) {
-    if (!blocks_.contains(key_of(file, b))) ++missing;
+    if (!index_.contains(key_of(file, b))) ++missing;
   }
   if (missing > 0 && !can_allocate(missing, pid)) {
     plan.space_wait = true;
@@ -239,13 +299,15 @@ BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t 
   if (write_behind) {
     for (std::int64_t b = b0; b < b1; ++b) {
       const std::uint64_t key = key_of(file, b);
-      const auto it = blocks_.find(key);
-      if (it == blocks_.end()) {
-        insert_block(key, State::kDirty, pid, op_id, /*from_readahead=*/false);
-        blocks_.at(key).dirty_since = now;
+      const std::uint32_t slot = find_slot(key);
+      if (slot == kNil) {
+        const std::uint32_t fresh =
+            insert_block(key, State::kDirty, pid, op_id, /*from_readahead=*/false);
+        pool_[fresh].dirty_since = now;
       } else {
-        make_dirty(key, it->second, pid);
-        it->second.dirty_since = now;
+        Block& block = pool_[slot];
+        make_dirty(key, block, pid);
+        block.dirty_since = now;
       }
     }
     plan.absorbed = true;
@@ -254,14 +316,14 @@ BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t 
     // Write-through: every block goes to disk now.
     for (std::int64_t b = b0; b < b1; ++b) {
       const std::uint64_t key = key_of(file, b);
-      const auto it = blocks_.find(key);
-      if (it == blocks_.end()) {
+      const std::uint32_t slot = find_slot(key);
+      if (slot == kNil) {
         insert_block(key, State::kFlushing, pid, op_id, /*from_readahead=*/false);
       } else {
-        Block& block = it->second;
+        Block& block = pool_[slot];
         switch (block.state) {
           case State::kClean:
-            lru_.erase(block.lru_pos);
+            lru_unlink(slot);
             block.state = State::kFlushing;
             break;
           case State::kDirty:
@@ -303,7 +365,7 @@ std::optional<BlockRun> BufferCache::try_issue_readahead(std::uint32_t pid,
   if (candidate.count <= 0) return std::nullopt;
   // Only prefetch when the whole candidate is absent (the frontier case).
   for (std::int64_t i = 0; i < candidate.count; ++i) {
-    if (blocks_.contains(key_of(candidate.file, candidate.first_block + i))) {
+    if (index_.contains(key_of(candidate.file, candidate.first_block + i))) {
       return std::nullopt;
     }
   }
@@ -319,23 +381,21 @@ std::optional<BlockRun> BufferCache::try_issue_readahead(std::uint32_t pid,
 
 void BufferCache::fetch_complete(const BlockRun& run) {
   for (std::int64_t i = 0; i < run.count; ++i) {
-    const std::uint64_t key = key_of(run.file, run.first_block + i);
-    const auto it = blocks_.find(key);
-    if (it == blocks_.end()) continue;
-    Block& block = it->second;
+    const std::uint32_t slot = find_slot(key_of(run.file, run.first_block + i));
+    if (slot == kNil) continue;
+    Block& block = pool_[slot];
     if (block.state != State::kFetching) continue;  // overwritten meanwhile
     block.state = State::kClean;
-    lru_.push_back(key);
-    block.lru_pos = std::prev(lru_.end());
+    lru_push_back(slot);
   }
 }
 
 void BufferCache::flush_complete(const BlockRun& run) {
   for (std::int64_t i = 0; i < run.count; ++i) {
     const std::uint64_t key = key_of(run.file, run.first_block + i);
-    const auto it = blocks_.find(key);
-    if (it == blocks_.end()) continue;
-    Block& block = it->second;
+    const std::uint32_t slot = find_slot(key);
+    if (slot == kNil) continue;
+    Block& block = pool_[slot];
     if (block.state != State::kFlushing) continue;
     if (block.redirtied) {
       block.redirtied = false;
@@ -344,8 +404,7 @@ void BufferCache::flush_complete(const BlockRun& run) {
       ++dirty_count_;
     } else {
       block.state = State::kClean;
-      lru_.push_back(key);
-      block.lru_pos = std::prev(lru_.end());
+      lru_push_back(slot);
     }
   }
 }
@@ -358,25 +417,26 @@ std::vector<BlockRun> BufferCache::collect_flush_batch(std::int64_t max_blocks,
   auto cursor = dirty_.begin();
   while (taken < max_blocks && cursor != dirty_.end()) {
     const std::uint64_t key = *cursor;
-    const auto it = blocks_.find(key);
-    assert(it != blocks_.end() && it->second.state == State::kDirty);
-    if (min_age > Ticks::zero() && it->second.dirty_since + min_age > now) {
+    const std::uint32_t slot = find_slot(key);
+    assert(slot != kNil && pool_[slot].state == State::kDirty);
+    Block& block = pool_[slot];
+    if (min_age > Ticks::zero() && block.dirty_since + min_age > now) {
       ++cursor;  // still younger than the delayed-write threshold
       continue;
     }
     cursor = dirty_.erase(cursor);
     --dirty_count_;
     ++taken;
-    it->second.state = State::kFlushing;
+    block.state = State::kFlushing;
     const std::uint32_t file = file_of(key);
-    const std::int64_t block = block_of(key);
+    const std::int64_t block_no = block_of(key);
     const bool extends = !runs.empty() && runs.back().file == file &&
-                         runs.back().first_block + runs.back().count == block &&
+                         runs.back().first_block + runs.back().count == block_no &&
                          (max_run_blocks <= 0 || runs.back().count < max_run_blocks);
     if (extends) {
       ++runs.back().count;
     } else {
-      runs.push_back({file, block, 1});
+      runs.push_back({file, block_no, 1});
     }
   }
   return runs;
@@ -384,18 +444,15 @@ std::vector<BlockRun> BufferCache::collect_flush_batch(std::int64_t max_blocks,
 
 std::int64_t BufferCache::invalidate_file(std::uint32_t file) {
   std::int64_t cancelled = 0;
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (file_of(it->first) != file) {
-      ++it;
-      continue;
-    }
-    Block& block = it->second;
+  for (std::uint32_t slot = 0; slot < pool_.size(); ++slot) {
+    Block& block = pool_[slot];
+    if (!block.live || file_of(block.key) != file) continue;
     switch (block.state) {
       case State::kClean:
-        lru_.erase(block.lru_pos);
+        lru_unlink(slot);
         break;
       case State::kDirty:
-        dirty_.erase(it->first);
+        dirty_.erase(block.key);
         --dirty_count_;
         ++cancelled;
         break;
@@ -403,11 +460,12 @@ std::int64_t BufferCache::invalidate_file(std::uint32_t file) {
       case State::kFlushing:
         // In-flight transfers complete against a dead block; leave them so
         // fetch/flush_complete bookkeeping stays simple.
-        ++it;
         continue;
     }
     --owned_[block.owner];
-    it = blocks_.erase(it);
+    index_.erase(block.key);
+    free_slot(slot);
+    --live_count_;
   }
   sequential_.erase(file);
   metrics_->writes_cancelled_blocks += cancelled;

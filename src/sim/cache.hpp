@@ -5,10 +5,16 @@
 // it to *plan* each read/write; the plan says which block runs must move
 // to/from the disk and which in-flight operations the request must join.
 // Completion notifications flow back through fetch_complete/flush_complete.
+//
+// Storage layout (hot path): blocks live in a slot pool (stable indices,
+// free-list recycled) addressed through an open-addressing hash index, and
+// the clean-LRU list is intrusive — prev/next slot indices inside the block
+// itself. Touching a block on a hit is pointer surgery with zero allocation,
+// where the seed implementation paid an unordered_map node plus a std::list
+// splice per touch.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -16,6 +22,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/params.hpp"
+#include "util/flat_map.hpp"
 #include "util/units.hpp"
 
 namespace craysim::sim {
@@ -100,22 +107,27 @@ class BufferCache {
   [[nodiscard]] bool over_watermark() const;
   [[nodiscard]] Bytes block_size() const { return params_.block_size; }
   [[nodiscard]] std::int64_t capacity_blocks() const { return capacity_blocks_; }
-  [[nodiscard]] std::int64_t resident_blocks() const {
-    return static_cast<std::int64_t>(blocks_.size());
-  }
+  [[nodiscard]] std::int64_t resident_blocks() const { return live_count_; }
   [[nodiscard]] std::int64_t owned_blocks(std::uint32_t pid) const;
 
  private:
   enum class State : std::uint8_t { kClean, kDirty, kFetching, kFlushing };
 
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Block {
-    State state = State::kClean;
-    std::uint32_t owner = 0;
+    std::uint64_t key = 0;         ///< file<<32 | block while live
     std::uint64_t op_id = 0;       ///< fetch op while Fetching
+    Ticks dirty_since;             ///< when the block was last made dirty
+    std::uint32_t owner = 0;
+    // Intrusive clean-LRU links (slot indices; valid only when Clean) — the
+    // slot doubles as the free-list node via lru_next when dead.
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    State state = State::kClean;
+    bool live = false;
     bool from_readahead = false;   ///< fetched by prefetch, not yet referenced
     bool redirtied = false;        ///< written while Flushing
-    Ticks dirty_since;             ///< when the block was last made dirty
-    std::list<std::uint64_t>::iterator lru_pos;  ///< valid only when Clean
   };
 
   static std::uint64_t key_of(std::uint32_t file, std::int64_t block) {
@@ -126,25 +138,40 @@ class BufferCache {
     return static_cast<std::int64_t>(key & 0xffffffffull);
   }
 
-  [[nodiscard]] std::int64_t free_blocks() const {
-    return capacity_blocks_ - static_cast<std::int64_t>(blocks_.size());
-  }
+  [[nodiscard]] std::int64_t free_blocks() const { return capacity_blocks_ - live_count_; }
   /// Can `need` new blocks be produced (free + evictable clean)?
   [[nodiscard]] bool can_allocate(std::int64_t need, std::uint32_t pid) const;
   /// Makes room for one block (evicting the LRU clean block if needed) and
-  /// inserts it. Pre-condition: can_allocate was true for the whole batch.
-  void insert_block(std::uint64_t key, State state, std::uint32_t pid, std::uint64_t op_id,
-                    bool from_readahead);
+  /// inserts it; returns the slot. Pre-condition: can_allocate held for the
+  /// whole batch.
+  std::uint32_t insert_block(std::uint64_t key, State state, std::uint32_t pid,
+                             std::uint64_t op_id, bool from_readahead);
   void evict_one(std::uint32_t prefer_owner);
-  void touch_clean(std::uint64_t key, Block& block);
+  /// Looks up a live block slot; kNil when absent.
+  [[nodiscard]] std::uint32_t find_slot(std::uint64_t key) const;
+  void touch_clean(Block& block);
   void make_dirty(std::uint64_t key, Block& block, std::uint32_t pid);
+  /// Appends a Clean block at the MRU end of the intrusive list.
+  void lru_push_back(std::uint32_t slot);
+  /// Unlinks a Clean block from the intrusive list.
+  void lru_unlink(std::uint32_t slot);
+  /// Releases a slot back to the free list (after index erase).
+  void free_slot(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t slot_of(const Block& block) const {
+    return static_cast<std::uint32_t>(&block - pool_.data());
+  }
 
   CacheParams params_;
   CacheMetrics* metrics_;
   std::int64_t capacity_blocks_;
   std::int64_t cap_blocks_per_process_;  ///< 0 = unlimited
-  std::unordered_map<std::uint64_t, Block> blocks_;
-  std::list<std::uint64_t> lru_;  ///< clean blocks, LRU at front
+  std::vector<Block> pool_;              ///< slot storage, stable indices
+  std::uint32_t free_head_ = kNil;       ///< free-list through lru_next
+  util::FlatMap64<std::uint32_t> index_; ///< key -> slot
+  std::uint32_t lru_head_ = kNil;        ///< clean blocks, LRU at head
+  std::uint32_t lru_tail_ = kNil;        ///< MRU end
+  std::int64_t clean_count_ = 0;
+  std::int64_t live_count_ = 0;
   // Dirty blocks ordered by key so flush batches form contiguous runs.
   std::set<std::uint64_t> dirty_;
   std::int64_t dirty_count_ = 0;

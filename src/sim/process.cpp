@@ -5,11 +5,15 @@
 namespace craysim::sim {
 
 TraceReplaySource::TraceReplaySource(trace::Trace trace, std::uint32_t process_id)
+    : TraceReplaySource(std::make_shared<const trace::Trace>(std::move(trace)), process_id) {}
+
+TraceReplaySource::TraceReplaySource(std::shared_ptr<const trace::Trace> trace,
+                                     std::uint32_t process_id)
     : trace_(std::move(trace)), process_id_(process_id) {}
 
 std::optional<workload::Request> TraceReplaySource::next() {
-  while (pos_ < trace_.size()) {
-    const trace::TraceRecord& r = trace_[pos_++];
+  while (pos_ < trace_->size()) {
+    const trace::TraceRecord& r = (*trace_)[pos_++];
     if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
       continue;
     }

@@ -20,10 +20,15 @@ class TraceReplaySource final : public workload::RequestSource {
   /// record, for single-process traces).
   TraceReplaySource(trace::Trace trace, std::uint32_t process_id = 0);
 
+  /// Zero-copy variant: replays a trace shared immutably across many
+  /// simulators — the parallel runner's fan-out parses once and every sweep
+  /// point replays the same records.
+  TraceReplaySource(std::shared_ptr<const trace::Trace> trace, std::uint32_t process_id = 0);
+
   std::optional<workload::Request> next() override;
 
  private:
-  trace::Trace trace_;
+  std::shared_ptr<const trace::Trace> trace_;
   std::uint32_t process_id_;
   std::size_t pos_ = 0;
 };

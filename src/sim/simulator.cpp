@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "util/error.hpp"
 #include "workload/generator.hpp"
@@ -21,6 +22,8 @@ Simulator::Simulator(SimParams params) : params_(std::move(params)) {
   result_.disk_rate = BinnedSeries(params_.series_bin);
   result_.disk_read_rate = BinnedSeries(params_.series_bin);
   result_.disk_write_rate = BinnedSeries(params_.series_bin);
+  events_.reserve(256);
+  inflight_.reserve(256);
 }
 
 std::uint32_t Simulator::add_process(std::string name,
@@ -47,7 +50,8 @@ Ticks Simulator::hit_delay(Bytes bytes) const {
 }
 
 void Simulator::push_event(Ticks time, EventKind kind, std::uint64_t arg) {
-  events_.push(Event{time, next_seq_++, kind, arg});
+  events_.push_back(Event{time, next_seq_++, kind, arg});
+  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
 }
 
 SimResult Simulator::run() {
@@ -77,8 +81,9 @@ SimResult Simulator::run() {
            (!cache_ || cache_->dirty_block_count() == 0);
   };
   while (!events_.empty() && !drained()) {
-    const Event event = events_.top();
-    events_.pop();
+    std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+    const Event event = events_.back();
+    events_.pop_back();
     assert(event.time >= now_);
     now_ = event.time;
     if (now_ > wall_limit) throw Error("simulation exceeded wall-clock safety limit");
@@ -283,7 +288,7 @@ void Simulator::submit_run_with_id(std::uint64_t id, Ticks now, const BlockRun& 
   op.run = run;
   op.notify_cache = true;
   if (sync_waiter != kNoProcess) op.waiters.push_back(sync_waiter);
-  inflight_.emplace(id, std::move(op));
+  inflight_.emplace(id) = std::move(op);
   push_event(done, EventKind::kIoDone, id);
 }
 
@@ -302,7 +307,7 @@ std::uint64_t Simulator::submit_bypass(Ticks now, std::uint32_t gfile, Bytes off
   IoOp op;
   op.kind = IoOp::Kind::kBypass;
   op.notify_cache = false;
-  inflight_.emplace(id, std::move(op));
+  inflight_.emplace(id) = std::move(op);
   push_event(done, EventKind::kIoDone, id);
   return id;
 }
@@ -335,7 +340,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     if (req.async) {
       continue_running(t, pid, Ticks::zero());
     } else {
-      inflight_.at(id).waiters.push_back(pid);
+      inflight_.find(id)->waiters.push_back(pid);
       block_for_io(t, proc, 1);
     }
     return;
@@ -356,7 +361,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
       if (req.async) {
         continue_running(t, pid, Ticks::zero());
       } else {
-        inflight_.at(id).waiters.push_back(pid);
+        inflight_.find(id)->waiters.push_back(pid);
         block_for_io(t, proc, 1);
       }
       return;
@@ -372,9 +377,9 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     }
     if (!req.async) {
       for (const std::uint64_t join_id : plan.join_ops) {
-        const auto it = inflight_.find(join_id);
-        if (it == inflight_.end()) continue;  // completed this very tick
-        it->second.waiters.push_back(pid);
+        IoOp* join = inflight_.find(join_id);
+        if (join == nullptr) continue;  // completed this very tick
+        join->waiters.push_back(pid);
         ++waits;
       }
     }
@@ -407,7 +412,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     if (req.async) {
       continue_running(t, pid, Ticks::zero());
     } else {
-      inflight_.at(id).waiters.push_back(pid);
+      inflight_.find(id)->waiters.push_back(pid);
       block_for_io(t, proc, 1);
     }
     return;
@@ -424,7 +429,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
   for (const BlockRun& run : plan.writethrough_runs) {
     const std::uint64_t id = submit_run(t, run, /*write=*/true, IoOp::Kind::kWriteThrough);
     if (!req.async) {
-      inflight_.at(id).waiters.push_back(pid);
+      inflight_.find(id)->waiters.push_back(pid);
       ++waits;
     }
   }
@@ -436,10 +441,10 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
 }
 
 void Simulator::on_io_done(Ticks now, std::uint64_t op_id) {
-  const auto it = inflight_.find(op_id);
-  if (it == inflight_.end()) return;
-  IoOp op = std::move(it->second);
-  inflight_.erase(it);
+  IoOp* found = inflight_.find(op_id);
+  if (found == nullptr) return;
+  IoOp op = std::move(*found);
+  inflight_.erase(op_id);
 
   if (cache_ && op.notify_cache) {
     switch (op.kind) {

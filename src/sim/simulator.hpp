@@ -20,15 +20,15 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
 #include "sim/metrics.hpp"
 #include "sim/params.hpp"
 #include "sim/storage.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vec.hpp"
 #include "workload/profile.hpp"
 #include "workload/request.hpp"
 
@@ -94,7 +94,9 @@ class Simulator {
     Kind kind = Kind::kFetch;
     BlockRun run;        ///< meaningless for kBypass
     bool notify_cache = true;
-    std::vector<std::uint32_t> waiters;
+    // Almost every op has zero or one waiter; inline storage avoids a heap
+    // allocation per submitted I/O.
+    util::SmallVec<std::uint32_t, 2> waiters;
   };
 
   static constexpr std::uint32_t kNoProcess = 0;
@@ -138,7 +140,12 @@ class Simulator {
 
   SimParams params_;
   std::vector<Proc> procs_;  ///< index pid-1
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Min-heap on (time, seq) kept by hand with push_heap/pop_heap so the
+  // backing vector's capacity survives across pushes (priority_queue hides
+  // the container and its growth). (time, seq) is a strict total order, so
+  // pop order — and thus the whole simulation — is independent of heap
+  // layout details.
+  std::vector<Event> events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_op_ = 1;
   struct Cpu {
@@ -149,7 +156,7 @@ class Simulator {
   std::vector<Cpu> cpus_;
   std::deque<std::uint32_t> ready_;
   std::vector<std::uint32_t> space_waiters_;
-  std::unordered_map<std::uint64_t, IoOp> inflight_;
+  util::FlatMap64<IoOp> inflight_;
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<BufferCache> cache_;
   SimResult result_;

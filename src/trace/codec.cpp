@@ -21,6 +21,28 @@ void append_int(std::string& out, std::int64_t value) {
   out.append(buf, ptr);
 }
 
+/// Walks the space-delimited tokens of a line in place — the zero-copy
+/// replacement for split(), which materialized a vector of views per record
+/// on the decode hot path. Runs of spaces count as one delimiter, matching
+/// split()'s empty-token dropping.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view text) : text_(text) {}
+
+  /// Returns the next token, or nullopt when the line is exhausted.
+  std::optional<std::string_view> next() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    if (pos_ >= text_.size()) return std::nullopt;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ') ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 std::string AsciiTraceEncoder::encode(const TraceRecord& record) {
@@ -131,28 +153,28 @@ std::optional<TraceRecord> AsciiTraceDecoder::decode_line(std::string_view line)
     return std::nullopt;
   }
 
-  const auto tokens = split(trimmed, ' ');
-  std::size_t cursor = 1;  // token 0 is the record type
+  TokenCursor cursor(trimmed);
+  (void)cursor.next();  // token 0 is the record type, already parsed above
   // Magnitude bound on every value field: 2^50 bytes (1 PiB) / ticks (~350
   // years). Far beyond any real trace, but small enough that the block-size
   // rescale and running start-time sum below can never overflow int64 on
   // hostile input.
   constexpr std::int64_t kFieldLimit = std::int64_t{1} << 50;
   auto next_int = [&](const char* field) -> std::int64_t {
-    if (cursor >= tokens.size()) {
+    const auto token = cursor.next();
+    if (!token) {
       throw TraceFormatError(std::string("missing field '") + field + "' in: " +
                              std::string(trimmed));
     }
-    const auto v = parse_int(tokens[cursor]);
+    const auto v = parse_int(*token);
     if (!v) {
       throw TraceFormatError(std::string("unparseable field '") + field + "': " +
-                             std::string(tokens[cursor]));
+                             std::string(*token));
     }
     if (*v > kFieldLimit || *v < -kFieldLimit) {
       throw TraceFormatError(std::string("field '") + field + "' out of range: " +
-                             std::string(tokens[cursor]));
+                             std::string(*token));
     }
-    ++cursor;
     return *v;
   };
 
@@ -204,7 +226,7 @@ std::optional<TraceRecord> AsciiTraceDecoder::decode_line(std::string_view line)
     pid_field = static_cast<std::uint32_t>(v);
   }
   record.process_time = Ticks(next_int("processTime"));
-  if (cursor != tokens.size()) {
+  if (cursor.next()) {
     throw TraceFormatError("trailing fields in record: " + std::string(trimmed));
   }
 

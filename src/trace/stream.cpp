@@ -6,6 +6,57 @@
 #include "util/error.hpp"
 
 namespace craysim::trace {
+namespace {
+
+/// One line under the shared strict/recoverable decode policy (both readers
+/// funnel through here so their semantics cannot drift apart). Returns the
+/// record, or nullopt for comments/blank/skipped lines.
+std::optional<TraceRecord> decode_with_policy(AsciiTraceDecoder& decoder, std::string_view line,
+                                              std::int64_t line_number,
+                                              const std::optional<RecoveryOptions>& recovery,
+                                              ParseReport& report) {
+  try {
+    if (auto record = decoder.decode_line(line)) {
+      ++report.records_parsed;
+      return record;
+    }
+  } catch (const TraceFormatError& e) {
+    if (!recovery) {
+      throw TraceFormatError("line " + std::to_string(line_number) + ": " + e.what());
+    }
+    // decode_line only commits decoder state after a full successful decode,
+    // so a thrown line leaves the relative-field state at the last good
+    // record and the next well-formed line resynchronizes.
+    ++report.lines_skipped;
+    if (static_cast<std::int64_t>(report.defects.size()) < ParseReport::kMaxRecordedDefects) {
+      report.defects.push_back({line_number, e.what()});
+    }
+    if (recovery->error_budget >= 0 && report.lines_skipped > recovery->error_budget) {
+      throw FaultError("parse error budget of " + std::to_string(recovery->error_budget) +
+                       " exhausted at line " + std::to_string(line_number) + " (" + e.what() +
+                       ")");
+    }
+  }
+  return std::nullopt;
+}
+
+/// Reads a whole file into memory (the parse then runs zero-copy over it).
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    text.resize(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(text.data(), size);
+  }
+  if (in.bad()) throw Error("read failed: " + path);
+  return text;
+}
+
+}  // namespace
 
 void TraceWriter::write(const TraceRecord& record) {
   *out_ << encoder_.encode(record) << '\n';
@@ -20,27 +71,23 @@ std::optional<TraceRecord> TraceReader::next() {
   std::string line;
   while (std::getline(*in_, line)) {
     ++line_number_;
-    try {
-      if (auto record = decoder_.decode_line(line)) {
-        ++report_.records_parsed;
-        return record;
-      }
-    } catch (const TraceFormatError& e) {
-      if (!recovery_) {
-        throw TraceFormatError("line " + std::to_string(line_number_) + ": " + e.what());
-      }
-      // decode_line only commits decoder state after a full successful
-      // decode, so a thrown line leaves the relative-field state at the last
-      // good record and the next well-formed line resynchronizes.
-      ++report_.lines_skipped;
-      if (static_cast<std::int64_t>(report_.defects.size()) < ParseReport::kMaxRecordedDefects) {
-        report_.defects.push_back({line_number_, e.what()});
-      }
-      if (recovery_->error_budget >= 0 && report_.lines_skipped > recovery_->error_budget) {
-        throw FaultError("parse error budget of " + std::to_string(recovery_->error_budget) +
-                         " exhausted at line " + std::to_string(line_number_) + " (" + e.what() +
-                         ")");
-      }
+    if (auto record = decode_with_policy(decoder_, line, line_number_, recovery_, report_)) {
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceRecord> TraceTextReader::next() {
+  while (pos_ < text_.size()) {
+    const std::size_t newline = text_.find('\n', pos_);
+    const std::string_view line = newline == std::string_view::npos
+                                      ? text_.substr(pos_)
+                                      : text_.substr(pos_, newline - pos_);
+    pos_ = newline == std::string_view::npos ? text_.size() : newline + 1;
+    ++line_number_;
+    if (auto record = decode_with_policy(decoder_, line, line_number_, recovery_, report_)) {
+      return record;
     }
   }
   return std::nullopt;
@@ -55,16 +102,14 @@ std::string serialize_trace(const Trace& trace, std::string_view header_comment)
 }
 
 Trace parse_trace(std::string_view text) {
-  std::istringstream in{std::string(text)};
-  TraceReader reader(in);
+  TraceTextReader reader(text);
   Trace trace;
   while (auto record = reader.next()) trace.push_back(*record);
   return trace;
 }
 
 RecoveredTrace parse_trace_lossy(std::string_view text, const RecoveryOptions& recovery) {
-  std::istringstream in{std::string(text)};
-  TraceReader reader(in, recovery);
+  TraceTextReader reader(text, recovery);
   RecoveredTrace result;
   while (auto record = reader.next()) result.trace.push_back(*record);
   result.report = reader.report();
@@ -72,13 +117,8 @@ RecoveredTrace parse_trace_lossy(std::string_view text, const RecoveryOptions& r
 }
 
 RecoveredTrace load_trace_lossy(const std::string& path, const RecoveryOptions& recovery) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open for reading: " + path);
-  TraceReader reader(in, recovery);
-  RecoveredTrace result;
-  while (auto record = reader.next()) result.trace.push_back(*record);
-  result.report = reader.report();
-  return result;
+  const std::string text = read_file(path);
+  return parse_trace_lossy(text, recovery);
 }
 
 void save_trace(const Trace& trace, const std::string& path, std::string_view header_comment) {
@@ -91,12 +131,8 @@ void save_trace(const Trace& trace, const std::string& path, std::string_view he
 }
 
 Trace load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open for reading: " + path);
-  TraceReader reader(in);
-  Trace trace;
-  while (auto record = reader.next()) trace.push_back(*record);
-  return trace;
+  const std::string text = read_file(path);
+  return parse_trace(text);
 }
 
 }  // namespace craysim::trace

@@ -86,6 +86,34 @@ class TraceReader {
   ParseReport report_;
 };
 
+/// Reads records straight out of in-memory trace text: lines are walked as
+/// string_views into the caller's buffer, with no istream and no per-line
+/// copy. Strict/recoverable semantics are identical to TraceReader. The text
+/// must outlive the reader.
+class TraceTextReader {
+ public:
+  explicit TraceTextReader(std::string_view text) : text_(text) {}
+  TraceTextReader(std::string_view text, const RecoveryOptions& recovery)
+      : text_(text), recovery_(recovery) {}
+
+  /// Next record, or nullopt at end of text.
+  [[nodiscard]] std::optional<TraceRecord> next();
+
+  [[nodiscard]] std::int64_t line_number() const { return line_number_; }
+  [[nodiscard]] const AsciiTraceDecoder& decoder() const { return decoder_; }
+  [[nodiscard]] bool recovering() const { return recovery_.has_value(); }
+  /// Defect log so far (meaningful in recoverable mode only).
+  [[nodiscard]] const ParseReport& report() const { return report_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  AsciiTraceDecoder decoder_;
+  std::int64_t line_number_ = 0;
+  std::optional<RecoveryOptions> recovery_;
+  ParseReport report_;
+};
+
 /// Serializes a whole trace (optionally with a leading identification
 /// comment, as the paper recommends) and returns the text.
 [[nodiscard]] std::string serialize_trace(const Trace& trace, std::string_view header_comment = {});

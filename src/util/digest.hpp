@@ -1,0 +1,38 @@
+// FNV-1a digesting of plain values, used to compare simulation outputs for
+// bit-identity (serial vs parallel sweeps, cache-rewrite regression tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace craysim::util {
+
+class Fnv1a {
+ public:
+  void add_bytes(const void* data, std::size_t length) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < length; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  /// Digests the object representation of a trivially copyable value.
+  template <typename T>
+  void add(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_bytes(&value, sizeof value);
+  }
+
+  void add_text(std::string_view text) { add_bytes(text.data(), text.size()); }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace craysim::util

@@ -1,0 +1,159 @@
+// Open-addressing hash map keyed by uint64, tuned for the simulator hot
+// paths (buffer-cache block index, in-flight I/O table).
+//
+// Compared to std::unordered_map this stores slots in one flat array (no
+// per-node allocation), probes linearly (cache-friendly), and reuses
+// tombstoned slots, so a steady insert/erase workload — exactly what the
+// cache and the in-flight table do millions of times per run — allocates
+// only when the live population grows past the high-water mark.
+//
+// Contract: pointers returned by find()/emplace() are invalidated by any
+// subsequent emplace() (rehash) — use them immediately, don't hold them.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace craysim::util {
+
+/// Finalizer of splitmix64: cheap, well-mixed 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` live entries without rehashing on the way.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;  // keep load factor <= 0.75
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  [[nodiscard]] V* find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    for (;;) {
+      const Slot& slot = slots_[i];
+      if (slot.state == State::kEmpty) return nullptr;
+      if (slot.state == State::kFull && slot.key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+  }
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+  [[nodiscard]] bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Inserts `key` if absent (value-initialized) and returns its value slot.
+  V& emplace(std::uint64_t key) {
+    if (slots_.empty() || (size_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+      grow();
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    std::size_t first_tombstone = kNone;
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.state == State::kFull && slot.key == key) return slot.value;
+      if (slot.state == State::kEmpty) {
+        Slot& dest = first_tombstone == kNone ? slot : slots_[first_tombstone];
+        if (first_tombstone != kNone) --tombstones_;
+        dest.state = State::kFull;
+        dest.key = key;
+        dest.value = V{};
+        ++size_;
+        return dest.value;
+      }
+      if (slot.state == State::kTombstone && first_tombstone == kNone) first_tombstone = i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool erase(std::uint64_t key) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.state == State::kEmpty) return false;
+      if (slot.state == State::kFull && slot.key == key) {
+        slot.state = State::kTombstone;
+        slot.value = V{};
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void clear() {
+    for (Slot& slot : slots_) {
+      slot.state = State::kEmpty;
+      slot.value = V{};
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Visits every live entry as fn(key, value&). Must not mutate the map.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.state == State::kFull) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  enum class State : std::uint8_t { kEmpty, kFull, kTombstone };
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+    State state = State::kEmpty;
+  };
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void grow() {
+    // Double only when the live population demands it; a tombstone-heavy
+    // table rehashes at the same size, recycling the dead slots.
+    std::size_t cap = slots_.empty() ? kMinCapacity : slots_.size();
+    if ((size_ + 1) * 2 > cap) cap <<= 1;
+    rehash(cap);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    tombstones_ = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (Slot& slot : old) {
+      if (slot.state != State::kFull) continue;
+      std::size_t i = static_cast<std::size_t>(mix64(slot.key)) & mask;
+      while (slots_[i].state == State::kFull) i = (i + 1) & mask;
+      slots_[i].state = State::kFull;
+      slots_[i].key = slot.key;
+      slots_[i].value = std::move(slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace craysim::util

@@ -1,0 +1,111 @@
+// A vector with inline storage for the common small case, used where the
+// simulator used to heap-allocate per operation (e.g. per-I/O waiter lists,
+// which hold one pid almost always).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace craysim::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially copyable element types");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { append_from(other); }
+  SmallVec(SmallVec&& other) noexcept { steal_from(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear_storage();
+      append_from(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~SmallVec() { clear_storage(); }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow();
+    data()[size_++] = value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  void clear() { size_ = 0; }  // keeps any heap capacity for reuse
+
+ private:
+  [[nodiscard]] T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ * 2;
+    T* bigger = new T[new_capacity];
+    std::memcpy(static_cast<void*>(bigger), data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = bigger;
+    capacity_ = new_capacity;
+  }
+
+  void clear_storage() {
+    delete[] heap_;
+    heap_ = nullptr;
+    size_ = 0;
+    capacity_ = N;
+  }
+
+  void append_from(const SmallVec& other) {
+    if (other.size_ > capacity_) {
+      heap_ = new T[other.size_];
+      capacity_ = other.size_;
+    }
+    std::memcpy(static_cast<void*>(data()), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void steal_from(SmallVec& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+    } else {
+      std::memcpy(static_cast<void*>(inline_), other.inline_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace craysim::util
