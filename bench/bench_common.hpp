@@ -53,6 +53,7 @@ inline std::string take_json_arg(int& argc, char** argv) {
       std::string path = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
+      argv[argc] = nullptr;  // preserve the argv[argc] == nullptr convention
       return path;
     }
   }

@@ -44,24 +44,43 @@ void ExperimentRunner::complete_one() {
   if (++completed_ == count_) done_cv_.notify_all();
 }
 
+void ExperimentRunner::claim_loop(std::size_t base, std::size_t end,
+                                  const std::function<void(std::size_t)>& fn) {
+  // CAS rather than fetch_add: the increment only happens when the observed
+  // ticket still lies inside this batch's [base, end) window. A straggler
+  // from a finished batch therefore cannot consume (and silently drop) a
+  // ticket belonging to the next batch — the next batch's base equals this
+  // batch's end, so any ticket the straggler observes is already >= its own
+  // end and its CAS never fires.
+  std::size_t ticket = next_index_.load(std::memory_order_relaxed);
+  while (ticket < end) {
+    if (next_index_.compare_exchange_weak(ticket, ticket + 1, std::memory_order_relaxed)) {
+      fn(ticket - base);
+      complete_one();
+      ticket = next_index_.load(std::memory_order_relaxed);
+    }
+    // On CAS failure, `ticket` was refreshed with the current value.
+  }
+}
+
 void ExperimentRunner::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
-    std::size_t count = 0;
+    std::size_t base = 0;
+    std::size_t end = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
       fn = fn_;
-      count = count_;
+      base = base_;
+      end = base_ + count_;
     }
-    std::size_t i;
-    while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
-      (*fn)(i);
-      complete_one();
-    }
+    // fn_ is nulled only after its batch fully drained; a worker that slept
+    // through the whole batch has nothing to claim.
+    if (fn != nullptr) claim_loop(base, end, *fn);
   }
 }
 
@@ -73,21 +92,24 @@ void ExperimentRunner::run_indexed(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  std::size_t base = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     fn_ = &fn;
     count_ = count;
     completed_ = 0;
-    next_index_.store(0, std::memory_order_relaxed);
+    // The ticket counter is never rewound; this batch owns [base, base +
+    // count). At this point every prior batch fully drained (its caller
+    // waited for completed_ == count_, and the CAS in claim_loop caps the
+    // counter at each batch's end), so next_index_ equals the previous
+    // batch's end exactly.
+    base_ = next_index_.load(std::memory_order_relaxed);
+    base = base_;
     ++generation_;
   }
   work_cv_.notify_all();
   // The caller claims points alongside the pool.
-  std::size_t i;
-  while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
-    fn(i);
-    complete_one();
-  }
+  claim_loop(base, base + count, fn);
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return completed_ == count_; });
   fn_ = nullptr;

@@ -118,18 +118,24 @@ class ExperimentRunner {
 
  private:
   void worker_loop();
+  void claim_loop(std::size_t base, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
   void complete_one();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers wait for a new generation
   std::condition_variable done_cv_;  ///< the caller waits for completion
-  // One batch at a time: the caller publishes (fn_, count_) under mutex_ and
-  // bumps generation_; workers claim indices from next_index_ until it runs
-  // past count_, bumping completed_ as they go.
+  // One batch at a time: the caller publishes (fn_, base_, count_) under
+  // mutex_ and bumps generation_; workers CAS-claim tickets from next_index_
+  // while they stay inside [base_, base_ + count_), bumping completed_ as
+  // they go. next_index_ is monotonic across batches — never rewound — so a
+  // straggler still holding a previous batch's window can never claim (or
+  // double-complete) a ticket that belongs to a newer batch.
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t base_ = 0;
   std::size_t count_ = 0;
   std::size_t completed_ = 0;
   std::atomic<std::size_t> next_index_{0};

@@ -299,6 +299,12 @@ std::uint64_t Simulator::submit_run(Ticks now, const BlockRun& run, bool write,
   return id;
 }
 
+Simulator::IoOp& Simulator::just_submitted(std::uint64_t id) {
+  IoOp* op = inflight_.find(id);
+  assert(op != nullptr && "just-submitted op must still be inflight");
+  return *op;
+}
+
 std::uint64_t Simulator::submit_bypass(Ticks now, std::uint32_t gfile, Bytes offset, Bytes length,
                                        bool write) {
   const std::uint64_t id = next_op_++;
@@ -340,7 +346,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     if (req.async) {
       continue_running(t, pid, Ticks::zero());
     } else {
-      inflight_.find(id)->waiters.push_back(pid);
+      just_submitted(id).waiters.push_back(pid);
       block_for_io(t, proc, 1);
     }
     return;
@@ -361,7 +367,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
       if (req.async) {
         continue_running(t, pid, Ticks::zero());
       } else {
-        inflight_.find(id)->waiters.push_back(pid);
+        just_submitted(id).waiters.push_back(pid);
         block_for_io(t, proc, 1);
       }
       return;
@@ -412,7 +418,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     if (req.async) {
       continue_running(t, pid, Ticks::zero());
     } else {
-      inflight_.find(id)->waiters.push_back(pid);
+      just_submitted(id).waiters.push_back(pid);
       block_for_io(t, proc, 1);
     }
     return;
@@ -429,7 +435,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
   for (const BlockRun& run : plan.writethrough_runs) {
     const std::uint64_t id = submit_run(t, run, /*write=*/true, IoOp::Kind::kWriteThrough);
     if (!req.async) {
-      inflight_.find(id)->waiters.push_back(pid);
+      just_submitted(id).waiters.push_back(pid);
       ++waits;
     }
   }

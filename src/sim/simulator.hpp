@@ -133,6 +133,11 @@ class Simulator {
                           IoOp::Kind kind, std::uint32_t sync_waiter);
   std::uint64_t submit_bypass(Ticks now, std::uint32_t gfile, Bytes offset, Bytes length,
                               bool write);
+  /// The op a submit_* call just placed in inflight_. Asserts it is present:
+  /// FlatMap64 pointers die on the next emplace, so a missing id here means a
+  /// bookkeeping bug that must fail loudly (in debug builds) rather than
+  /// dereference null.
+  [[nodiscard]] IoOp& just_submitted(std::uint64_t id);
   [[nodiscard]] std::uint32_t global_file(std::uint32_t pid, std::uint32_t file) const {
     return (pid << 20) | file;
   }

@@ -51,6 +51,18 @@ std::string read_file(const std::string& path) {
     text.resize(static_cast<std::size_t>(size));
     in.seekg(0);
     in.read(text.data(), size);
+  } else {
+    // Unknown or zero reported size: non-seekable input (FIFO, /dev/stdin)
+    // makes the end-seek fail with tellg() == -1, and some special files
+    // (/proc) report size 0 despite having content. Rewind (a no-op failure
+    // on pipes, which the seek never consumes from) and read in chunks.
+    in.clear();
+    in.seekg(0);
+    in.clear();
+    char chunk[1 << 16];
+    while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
+      text.append(chunk, static_cast<std::size_t>(in.gcount()));
+    }
   }
   if (in.bad()) throw Error("read failed: " + path);
   return text;

@@ -2,6 +2,7 @@
 // output for any thread count, and per-point exception isolation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
@@ -115,6 +116,29 @@ TEST(ExperimentRunnerTest, ResultsArriveInSubmissionOrder) {
   ASSERT_EQ(results.size(), points.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i], static_cast<int>(i) * 7 + 1) << "slot " << i;
+  }
+}
+
+TEST(ExperimentRunnerTest, BackToBackBatchesNeverLeakWorkAcrossBatches) {
+  // Regression test for batch-rollover: a straggler worker still leaving
+  // batch k's claim loop must never steal an index of batch k+1 or invoke
+  // batch k's (destroyed) point function. Batches smaller than the thread
+  // count maximize the straggler window; each index must run exactly once.
+  ExperimentRunner pool(RunnerOptions{.threads = 8});
+  for (int batch = 0; batch < 400; ++batch) {
+    const std::size_t count = 1 + static_cast<std::size_t>(batch % 7);
+    std::vector<std::atomic<int>> hits(count);
+    std::vector<std::size_t> points(count);
+    for (std::size_t i = 0; i < count; ++i) points[i] = i;
+    const auto results = pool.run(points, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      return i;
+    });
+    ASSERT_EQ(results.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "batch " << batch << " index " << i;
+      ASSERT_EQ(results[i], i);
+    }
   }
 }
 

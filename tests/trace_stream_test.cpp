@@ -4,7 +4,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <thread>
+
+#ifdef __unix__
+#include <sys/stat.h>
+#endif
 
 #include "util/error.hpp"
 
@@ -81,6 +87,26 @@ TEST(SaveLoad, MissingFileThrows) {
   EXPECT_THROW((void)load_trace("/nonexistent/dir/x.trace"), Error);
   EXPECT_THROW(save_trace({}, "/nonexistent/dir/x.trace"), Error);
 }
+
+#ifdef __unix__
+TEST(SaveLoad, NonSeekableFileRoundTrip) {
+  // A FIFO cannot report its size via seek/tell; the loader must fall back
+  // to chunked reads instead of silently yielding an empty trace.
+  Trace t;
+  for (std::uint32_t i = 1; i <= 5; ++i) t.push_back(simple(i, Ticks(i * 7)));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "craysim_stream_test.fifo").string();
+  std::remove(path.c_str());
+  ASSERT_EQ(mkfifo(path.c_str(), 0600), 0);
+  std::thread writer([&] {
+    std::ofstream out(path);
+    out << serialize_trace(t, "fifo round trip");
+  });
+  EXPECT_EQ(load_trace(path), t);
+  writer.join();
+  std::remove(path.c_str());
+}
+#endif
 
 }  // namespace
 }  // namespace craysim::trace
