@@ -43,22 +43,43 @@ inline void check(bool condition, const std::string& claim) {
   std::printf("[%s] %s\n", condition ? "REPRODUCED" : "DIVERGED", claim.c_str());
 }
 
-/// Consumes a "--json <path>" pair from the argument list (any position) and
-/// returns the path, or "" when the flag is absent. The remaining arguments
+/// Consumes a "<flag> <value>" pair from the argument list (any position) and
+/// returns the value, or "" when the flag is absent. The remaining arguments
 /// are compacted so downstream parsers (e.g. google-benchmark's) never see
 /// the flag.
-inline std::string take_json_arg(int& argc, char** argv) {
+inline std::string take_value_arg(int& argc, char** argv, std::string_view flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
-      std::string path = argv[i + 1];
+    if (std::string_view(argv[i]) == flag) {
+      std::string value = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
       argv[argc] = nullptr;  // preserve the argv[argc] == nullptr convention
-      return path;
+      return value;
     }
   }
   return {};
 }
+
+/// Consumes a "--json <path>" pair (the micro-bench snapshot destination).
+inline std::string take_json_arg(int& argc, char** argv) {
+  return take_value_arg(argc, argv, "--json");
+}
+
+/// Telemetry destinations shared by the instrumented benches and examples:
+/// "--metrics <path>" names a metrics-snapshot JSONL file, "--perfetto
+/// <path>" a Chrome trace-event JSON file. Either may be absent (empty path =
+/// that sink is off). Parsing only — the caller owns the obs:: objects.
+struct ObsArgs {
+  std::string metrics_path;
+  std::string perfetto_path;
+
+  [[nodiscard]] static ObsArgs take(int& argc, char** argv) {
+    ObsArgs args;
+    args.metrics_path = take_value_arg(argc, argv, "--metrics");
+    args.perfetto_path = take_value_arg(argc, argv, "--perfetto");
+    return args;
+  }
+};
 
 /// Replaces-or-appends one named section of a flat metrics JSON file, e.g.
 ///   { "codec": { "BM_Decode_ns_per_op": 1234.5 }, "cache": { ... } }

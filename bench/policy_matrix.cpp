@@ -7,10 +7,20 @@
 //
 // The 28 independent simulations fan out across the experiment runner (set
 // CRAYSIM_RUNNER_THREADS=1 for a serial, byte-identical run).
+//
+// Telemetry: "--metrics <path>" writes a JSONL snapshot (runner worker
+// utilization, phase wall times, and the venus RA+WB point's sim metrics);
+// "--perfetto <path>" re-runs that venus point with the span recorder on and
+// writes a Chrome trace-event file loadable in Perfetto. Both flags are
+// passive — the sweep itself always runs untelemetered, so its table is
+// byte-identical with and without them.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/span.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -26,19 +36,30 @@ struct PolicyPoint {
   bool write_behind = false;
 };
 
-double utilization(const PolicyPoint& point) {
+sim::SimParams point_params(const PolicyPoint& point) {
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
   params.cache.read_ahead = point.read_ahead;
   params.cache.write_behind = point.write_behind;
+  return params;
+}
+
+sim::SimResult run_point(const PolicyPoint& point, const sim::SimParams& params) {
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(point.app, 11));
-  return simulator.run().cpu_utilization();
+  return simulator.run();
+}
+
+double utilization(const PolicyPoint& point) {
+  return run_point(point, point_params(point)).cpu_utilization();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::PhaseProfiler phases;
   bench::heading("Section 6.2 policy matrix: utilization %, each app alone in a 16 MB cache");
 
   // Policy order per app: RA+WB, RA only, WB only, neither.
@@ -49,8 +70,14 @@ int main() {
     for (const auto& policy : policies) points.push_back({app, policy[0], policy[1]});
   }
 
-  runner::ExperimentRunner pool;
-  const std::vector<double> utils = pool.run(points, utilization);
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  std::vector<double> utils;
+  {
+    const auto scope = phases.scope("sweep");
+    utils = pool.run(points, utilization);
+  }
   const auto util_of = [&](workload::AppId app, std::size_t policy) {
     for (std::size_t a = 0; a < apps.size(); ++a) {
       if (apps[a] == app) return 100.0 * utils[a * 4 + policy];
@@ -91,5 +118,32 @@ int main() {
   bench::check(gcm_worst > 94.0 && upw_worst > 94.0,
                "the compulsory-I/O programs are least sensitive to the cache policies");
   bench::check(policies_help, "enabling both policies never costs meaningful utilization");
+
+  if (!obs_args.perfetto_path.empty()) {
+    // One instrumented venus RA+WB replay: spans for every process interval,
+    // I/O op lifetime, disk access, and cache eviction, viewable in Perfetto.
+    const auto scope = phases.scope("perfetto");
+    const PolicyPoint venus_point{workload::AppId::kVenus, true, true};
+    obs::SpanRecorder spans;
+    sim::SimParams params = point_params(venus_point);
+    params.spans = &spans;
+    (void)run_point(venus_point, params);
+    const std::string problem = obs::check_consistency(spans);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "span consistency check failed: %s\n", problem.c_str());
+      return 1;
+    }
+    spans.save(obs_args.perfetto_path);
+    std::printf("\nwrote %zu span events to %s\n", spans.size(), obs_args.perfetto_path.c_str());
+  }
+
+  if (!obs_args.metrics_path.empty()) {
+    const PolicyPoint venus_point{workload::AppId::kVenus, true, true};
+    run_point(venus_point, point_params(venus_point)).publish_metrics(registry, "sim.venus");
+    pool.publish_metrics(registry);
+    phases.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("\nwrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace craysim::obs {
+
+namespace {
+
+/// Formats a double compactly but losslessly enough for telemetry (9
+/// significant digits), with a deterministic representation across runs.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Metric names are craysim-internal dotted identifiers, but escape the two
+/// JSON-breaking characters anyway so a stray name cannot corrupt the file.
+std::string escape(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(v);
+}
+
+Histogram::Summary Histogram::summarize() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.count = static_cast<std::int64_t>(samples_.size());
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  const auto quantile = [&](double q) {
+    // Nearest-rank on the sorted samples; exact for our stored-sample model.
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::lookup(std::string_view name, Kind kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw ConfigError("metric '" + std::string(name) + "' already registered with another kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *lookup(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *lookup(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *lookup(name, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iterates in name order, which is exactly the export order the
+  // golden-schema test pins.
+  for (const auto& [name, entry] : entries_) {
+    out << "{\"metric\":\"" << escape(name) << "\",";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "\"type\":\"counter\",\"value\":" << entry.counter->value();
+        break;
+      case Kind::kGauge:
+        out << "\"type\":\"gauge\",\"value\":" << format_double(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Summary s = entry.histogram->summarize();
+        out << "\"type\":\"histogram\",\"count\":" << s.count << ",\"min\":"
+            << format_double(s.min) << ",\"max\":" << format_double(s.max) << ",\"mean\":"
+            << format_double(s.mean) << ",\"p50\":" << format_double(s.p50) << ",\"p90\":"
+            << format_double(s.p90) << ",\"p99\":" << format_double(s.p99);
+        break;
+      }
+    }
+    out << "}\n";
+  }
+}
+
+std::string MetricsRegistry::snapshot_jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+void MetricsRegistry::save_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open metrics file for writing: " + path);
+  write_jsonl(out);
+  if (!out) throw Error("failed writing metrics file: " + path);
+}
+
+std::vector<std::string> MetricsRegistry::metric_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace craysim::obs

@@ -1,0 +1,105 @@
+// MetricsRegistry: named counters, gauges, and histograms with a JSONL
+// snapshot export — the numeric half of the craysim telemetry layer.
+//
+// Design contract (see docs/OBSERVABILITY.md):
+//  * Zero overhead when unused: nothing in the hot paths touches a registry
+//    unless a caller asked for telemetry; publishers are post-hoc free/member
+//    functions over existing result structs (SimResult, ParseReport, ...).
+//  * Thread safe: registration locks the registry; the returned Counter /
+//    Gauge handles are lock-free atomics, so ExperimentRunner workers can
+//    publish concurrently. Histogram::record takes a per-histogram mutex.
+//  * Deterministic export: snapshot lines are sorted by metric name, one
+//    JSON object per line, with a schema pinned by tests/obs_golden_test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace craysim::obs {
+
+/// Monotonically increasing integer metric. add() is lock-free.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric. set() is lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution. Stores every sample (craysim telemetry volumes are
+/// modest), so the exported percentiles are exact, not estimates.
+class Histogram {
+ public:
+  void record(double v);
+
+  struct Summary {
+    std::int64_t count = 0;
+    double min = 0, max = 0, mean = 0, p50 = 0, p90 = 0, p99 = 0;
+  };
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+/// Owner of all metrics. Handles returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime; requesting an existing name with
+/// a different kind throws ConfigError.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// One JSON object per metric, sorted by name:
+  ///   {"metric":"a.b","type":"counter","value":12}
+  ///   {"metric":"c.d","type":"gauge","value":1.5}
+  ///   {"metric":"e.f","type":"histogram","count":3,"min":...,"p99":...}
+  void write_jsonl(std::ostream& out) const;
+  [[nodiscard]] std::string snapshot_jsonl() const;
+  /// File variant; throws craysim::Error on I/O failure.
+  void save_jsonl(const std::string& path) const;
+
+  /// Sorted metric names (golden-schema tests pin this list).
+  [[nodiscard]] std::vector<std::string> metric_names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& lookup(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace craysim::obs

@@ -1,0 +1,66 @@
+#include "obs/phase.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace craysim::obs {
+
+PhaseProfiler::Scope::~Scope() {
+  if (owner_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  owner_->add(name_, std::chrono::duration<double>(elapsed).count());
+}
+
+void PhaseProfiler::add(std::string_view name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Phase& phase : phases_) {
+    if (phase.name == name) {
+      phase.seconds += seconds;
+      ++phase.count;
+      return;
+    }
+  }
+  phases_.push_back(Phase{std::string(name), seconds, 1});
+}
+
+std::vector<PhaseProfiler::Phase> PhaseProfiler::phases() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+double PhaseProfiler::total_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0;
+  for (const Phase& phase : phases_) total += phase.seconds;
+  return total;
+}
+
+void PhaseProfiler::publish_metrics(MetricsRegistry& registry, std::string_view prefix) const {
+  const std::vector<Phase> snapshot = phases();
+  double total = 0;
+  for (const Phase& phase : snapshot) {
+    registry.gauge(std::string(prefix) + "." + phase.name + "_s").set(phase.seconds);
+    total += phase.seconds;
+  }
+  registry.gauge(std::string(prefix) + ".total_s").set(total);
+}
+
+std::string PhaseProfiler::report() const {
+  const std::vector<Phase> snapshot = phases();
+  double total = 0;
+  for (const Phase& phase : snapshot) total += phase.seconds;
+  std::string out;
+  char buf[160];
+  for (const Phase& phase : snapshot) {
+    const double share = total > 0 ? 100.0 * phase.seconds / total : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-12s %8.3f s  (%5.1f%%)\n", phase.name.c_str(),
+                  phase.seconds, share);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-12s %8.3f s\n", "total", total);
+  out += buf;
+  return out;
+}
+
+}  // namespace craysim::obs

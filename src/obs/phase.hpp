@@ -1,0 +1,71 @@
+// Wall-clock phase profiler: scoped timers for the coarse stages of a tool
+// run (load / parse / simulate / report), answering "where does wall-clock
+// go" for benches and examples.
+//
+// Unlike SpanRecorder (simulated time) this measures real elapsed time with
+// std::chrono::steady_clock. Phases with the same name accumulate.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace craysim::obs {
+
+class MetricsRegistry;
+
+class PhaseProfiler {
+ public:
+  /// RAII timer: records the elapsed wall time into its profiler on
+  /// destruction. Move-only.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept
+        : owner_(other.owner_), name_(std::move(other.name_)), start_(other.start_) {
+      other.owner_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+   private:
+    friend class PhaseProfiler;
+    Scope(PhaseProfiler* owner, std::string name)
+        : owner_(owner), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    PhaseProfiler* owner_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Starts timing a phase; the elapsed time lands when the scope dies.
+  [[nodiscard]] Scope scope(std::string name) { return Scope(this, std::move(name)); }
+
+  /// Records an already-measured duration.
+  void add(std::string_view name, double seconds);
+
+  struct Phase {
+    std::string name;
+    double seconds = 0;
+    std::int64_t count = 0;  ///< scopes/adds accumulated into this phase
+  };
+  /// Phases in first-recorded order.
+  [[nodiscard]] std::vector<Phase> phases() const;
+  [[nodiscard]] double total_seconds() const;
+
+  /// Gauges `<prefix>.<name>_s` (plus `<prefix>.total_s`).
+  void publish_metrics(MetricsRegistry& registry, std::string_view prefix = "phase") const;
+
+  /// Human-readable table: one "  name  1.234 s  (56.7%)" line per phase.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace craysim::obs

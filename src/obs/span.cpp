@@ -1,0 +1,260 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace craysim::obs {
+
+namespace {
+
+/// One craysim tick is exactly 10 microseconds.
+std::int64_t us_of(Ticks t) { return t.count() * 10; }
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.put('\\');
+    out.put(c);
+  }
+}
+
+}  // namespace
+
+void SpanRecorder::push(Event event) { events_.push_back(std::move(event)); }
+
+void SpanRecorder::begin(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
+                         std::initializer_list<Arg> args) {
+  Event e;
+  e.name = name;
+  e.ph = 'B';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.tid = tid;
+  for (const Arg& a : args) e.args.push_back(a);
+  push(std::move(e));
+}
+
+void SpanRecorder::end(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t) {
+  Event e;
+  e.name = name;
+  e.ph = 'E';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.tid = tid;
+  push(std::move(e));
+}
+
+void SpanRecorder::complete(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
+                            Ticks dur, std::initializer_list<Arg> args) {
+  Event e;
+  e.name = name;
+  e.ph = 'X';
+  e.ts = us_of(t);
+  e.dur = us_of(dur);
+  e.pid = pid;
+  e.tid = tid;
+  for (const Arg& a : args) e.args.push_back(a);
+  push(std::move(e));
+}
+
+void SpanRecorder::instant(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
+                           std::initializer_list<Arg> args) {
+  Event e;
+  e.name = name;
+  e.ph = 'i';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.tid = tid;
+  for (const Arg& a : args) e.args.push_back(a);
+  push(std::move(e));
+}
+
+void SpanRecorder::async_begin(std::uint32_t pid, std::uint64_t id, const char* cat,
+                               const char* name, Ticks t, std::initializer_list<Arg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'b';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.id = id;
+  for (const Arg& a : args) e.args.push_back(a);
+  push(std::move(e));
+}
+
+void SpanRecorder::async_end(std::uint32_t pid, std::uint64_t id, const char* cat,
+                             const char* name, Ticks t) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'e';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.id = id;
+  push(std::move(e));
+}
+
+void SpanRecorder::counter(std::uint32_t pid, const char* name, Ticks t, const char* key,
+                           std::int64_t value) {
+  Event e;
+  e.name = name;
+  e.ph = 'C';
+  e.ts = us_of(t);
+  e.pid = pid;
+  e.args.push_back(Arg{key, value});
+  push(std::move(e));
+}
+
+void SpanRecorder::name_process(std::uint32_t pid, std::string name) {
+  Event e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.str_arg = std::move(name);
+  push(std::move(e));
+}
+
+void SpanRecorder::name_thread(std::uint32_t pid, std::uint32_t tid, std::string name) {
+  Event e;
+  e.name = "thread_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.str_arg = std::move(name);
+  push(std::move(e));
+}
+
+void SpanRecorder::write_chrome_json(std::ostream& out) const {
+  // Sort indices, not events: metadata first, then by timestamp, with ties
+  // keeping emission order (stable) so an E emitted before a same-tick B
+  // stays before it and stack discipline survives the sort.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool meta_a = events_[a].ph == 'M';
+    const bool meta_b = events_[b].ph == 'M';
+    if (meta_a != meta_b) return meta_a;
+    if (meta_a) return false;  // metadata keeps emission order
+    return events_[a].ts < events_[b].ts;
+  });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::size_t i : order) {
+    const Event& e = events_[i];
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"";
+    write_escaped(out, e.name);
+    out << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid;
+    if (e.ph == 'b' || e.ph == 'e') {
+      out << ",\"id\":" << e.id;
+    } else {
+      out << ",\"tid\":" << e.tid;
+    }
+    if (e.cat != nullptr) {
+      out << ",\"cat\":\"";
+      write_escaped(out, e.cat);
+      out << "\"";
+    }
+    if (e.ph != 'M') out << ",\"ts\":" << e.ts;
+    if (e.ph == 'X') out << ",\"dur\":" << e.dur;
+    if (e.ph == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args.empty() || !e.str_arg.empty()) {
+      out << ",\"args\":{";
+      if (!e.str_arg.empty()) {
+        out << "\"name\":\"";
+        write_escaped(out, e.str_arg);
+        out << "\"";
+      }
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0 || !e.str_arg.empty()) out << ",";
+        out << "\"";
+        write_escaped(out, e.args[a].key);
+        out << "\":" << e.args[a].value;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::string SpanRecorder::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+void SpanRecorder::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open span file for writing: " + path);
+  write_chrome_json(out);
+  if (!out) throw Error("failed writing span file: " + path);
+}
+
+std::string check_consistency(const SpanRecorder& spans) {
+  // B/E discipline per synchronous track, in emission order (the simulator
+  // emits in nondecreasing sim time, so emission order is track order).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<const SpanRecorder::Event*>>
+      stacks;
+  // Async spans: open count per (cat, id).
+  std::map<std::pair<std::string, std::uint64_t>, std::int64_t> open_async;
+
+  for (const SpanRecorder::Event& e : spans.events()) {
+    switch (e.ph) {
+      case 'B':
+        stacks[{e.pid, e.tid}].push_back(&e);
+        break;
+      case 'E': {
+        auto& stack = stacks[{e.pid, e.tid}];
+        if (stack.empty()) {
+          return "E event '" + e.name + "' on empty track (" + std::to_string(e.pid) + "," +
+                 std::to_string(e.tid) + ")";
+        }
+        const SpanRecorder::Event* open = stack.back();
+        stack.pop_back();
+        if (open->name != e.name) {
+          return "E event '" + e.name + "' closes span '" + open->name + "'";
+        }
+        if (e.ts < open->ts) {
+          return "span '" + e.name + "' ends before it begins";
+        }
+        break;
+      }
+      case 'b':
+        ++open_async[{e.cat != nullptr ? e.cat : "", e.id}];
+        break;
+      case 'e': {
+        auto& open = open_async[{e.cat != nullptr ? e.cat : "", e.id}];
+        if (open <= 0) {
+          return "async end without begin: id " + std::to_string(e.id);
+        }
+        --open;
+        break;
+      }
+      case 'X':
+        if (e.dur < 0) return "X event '" + e.name + "' has negative duration";
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    if (!stack.empty()) {
+      return "unclosed span '" + stack.back()->name + "' on track (" +
+             std::to_string(key.first) + "," + std::to_string(key.second) + ")";
+    }
+  }
+  for (const auto& [key, open] : open_async) {
+    if (open != 0) return "unclosed async span id " + std::to_string(key.second);
+  }
+  return {};
+}
+
+}  // namespace craysim::obs

@@ -1,0 +1,111 @@
+// Sim-time span recorder with Chrome trace-event JSON export.
+//
+// The simulator's deterministic (time, seq) event loop maps directly onto
+// span begin/end pairs: every state transition happens at a known simulated
+// timestamp, so a recorder only has to append events — no clocks, no
+// threads. The export is the Chrome trace-event format ("traceEvents"
+// array), loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Timestamps are emitted in integer microseconds (one craysim tick = 10 us,
+// so the conversion is exact) and the writer sorts events by timestamp, so
+// the file is time-monotonic regardless of emission order.
+//
+// Track conventions used by the built-in simulator instrumentation live in
+// `track::` below and are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/small_vec.hpp"
+#include "util/units.hpp"
+
+namespace craysim::obs {
+
+/// Perfetto "process" ids used by the simulator's instrumentation. One
+/// simulated concern per track group keeps the timeline readable.
+namespace track {
+inline constexpr std::uint32_t kProcesses = 1;  ///< tid = simulated pid: run/blocked spans
+inline constexpr std::uint32_t kDisks = 2;      ///< tid = disk index: queue/read/write slices
+inline constexpr std::uint32_t kIoOps = 3;      ///< async spans, one per IoOp lifecycle
+inline constexpr std::uint32_t kCache = 4;      ///< eviction/space-wait instants, dirty counter
+}  // namespace track
+
+class SpanRecorder {
+ public:
+  /// One integer argument attached to an event ("args" in the JSON). Keys
+  /// must be string literals (the recorder stores the pointer).
+  struct Arg {
+    const char* key;
+    std::int64_t value;
+  };
+
+  struct Event {
+    std::string name;
+    const char* cat = nullptr;  ///< nullable; async events require one
+    char ph = 'B';              ///< Chrome phase: B E X i b e C M
+    std::int64_t ts = 0;        ///< microseconds of simulated time
+    std::int64_t dur = 0;       ///< microseconds; X events only
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t id = 0;       ///< async span id; b/e events only
+    util::SmallVec<Arg, 2> args;
+    std::string str_arg;        ///< metadata events: args.name payload
+  };
+
+  /// Synchronous slice on track (pid, tid). Begin/end must nest per track.
+  void begin(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
+             std::initializer_list<Arg> args = {});
+  void end(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t);
+
+  /// Complete slice (begin + duration in one event); never unbalanced.
+  void complete(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t, Ticks dur,
+                std::initializer_list<Arg> args = {});
+
+  /// Thread-scoped instant marker.
+  void instant(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
+               std::initializer_list<Arg> args = {});
+
+  /// Async (possibly overlapping) span; paired by (cat, id). Used for IoOp
+  /// lifecycles, which overlap freely.
+  void async_begin(std::uint32_t pid, std::uint64_t id, const char* cat, const char* name,
+                   Ticks t, std::initializer_list<Arg> args = {});
+  void async_end(std::uint32_t pid, std::uint64_t id, const char* cat, const char* name,
+                 Ticks t);
+
+  /// Counter sample rendered by Perfetto as a stepped area chart.
+  void counter(std::uint32_t pid, const char* name, Ticks t, const char* key,
+               std::int64_t value);
+
+  /// Track labels (metadata events; emitted first in the export).
+  void name_process(std::uint32_t pid, std::string name);
+  void name_thread(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Chrome trace-event JSON: metadata first, then events stably sorted by
+  /// timestamp (ties keep emission order, preserving E-before-B at an
+  /// instantaneous handoff).
+  void write_chrome_json(std::ostream& out) const;
+  [[nodiscard]] std::string chrome_json() const;
+  /// File variant; throws craysim::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  void push(Event event);
+
+  std::vector<Event> events_;
+};
+
+/// Structural validation of a recording: B/E stack discipline per
+/// (pid, tid), b/e pairing per (cat, id), and non-negative span durations.
+/// Returns an empty string when consistent, else a description of the first
+/// violation. Tests and examples/observe gate on this.
+[[nodiscard]] std::string check_consistency(const SpanRecorder& spans);
+
+}  // namespace craysim::obs

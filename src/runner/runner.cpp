@@ -1,7 +1,10 @@
 #include "runner/runner.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "util/text.hpp"
 
 namespace craysim::runner {
@@ -23,10 +26,11 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  // The caller is worker number one; only the extras need threads.
+  if (options.collect_telemetry) stats_ = std::make_unique<WorkerStats[]>(threads);
+  // The caller is worker number zero; only the extras need threads.
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -44,8 +48,34 @@ void ExperimentRunner::complete_one() {
   if (++completed_ == count_) done_cv_.notify_all();
 }
 
+void ExperimentRunner::note_claim(std::int64_t depth) {
+  depth_sum_.fetch_add(depth, std::memory_order_relaxed);
+  depth_samples_.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t seen = depth_max_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !depth_max_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    // On CAS failure, `seen` was refreshed with the current maximum.
+  }
+}
+
+void ExperimentRunner::run_point(const std::function<void(std::size_t)>& fn, std::size_t index,
+                                 unsigned worker, std::int64_t depth) {
+  if (!stats_) {
+    fn(index);
+    return;
+  }
+  note_claim(depth);
+  const auto started = std::chrono::steady_clock::now();
+  fn(index);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  WorkerStats& slot = stats_[worker];
+  slot.points.fetch_add(1, std::memory_order_relaxed);
+  slot.busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+                         std::memory_order_relaxed);
+}
+
 void ExperimentRunner::claim_loop(std::size_t base, std::size_t end,
-                                  const std::function<void(std::size_t)>& fn) {
+                                  const std::function<void(std::size_t)>& fn, unsigned worker) {
   // CAS rather than fetch_add: the increment only happens when the observed
   // ticket still lies inside this batch's [base, end) window. A straggler
   // from a finished batch therefore cannot consume (and silently drop) a
@@ -55,7 +85,7 @@ void ExperimentRunner::claim_loop(std::size_t base, std::size_t end,
   std::size_t ticket = next_index_.load(std::memory_order_relaxed);
   while (ticket < end) {
     if (next_index_.compare_exchange_weak(ticket, ticket + 1, std::memory_order_relaxed)) {
-      fn(ticket - base);
+      run_point(fn, ticket - base, worker, static_cast<std::int64_t>(end - ticket));
       complete_one();
       ticket = next_index_.load(std::memory_order_relaxed);
     }
@@ -63,7 +93,7 @@ void ExperimentRunner::claim_loop(std::size_t base, std::size_t end,
   }
 }
 
-void ExperimentRunner::worker_loop() {
+void ExperimentRunner::worker_loop(unsigned worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -80,16 +110,26 @@ void ExperimentRunner::worker_loop() {
     }
     // fn_ is nulled only after its batch fully drained; a worker that slept
     // through the whole batch has nothing to claim.
-    if (fn != nullptr) claim_loop(base, end, *fn);
+    if (fn != nullptr) claim_loop(base, end, *fn, worker);
   }
 }
 
 void ExperimentRunner::run_indexed(std::size_t count,
                                    const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  const auto batch_started =
+      stats_ ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   if (workers_.empty()) {
     // Serial: no pool machinery, no synchronization.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      run_point(fn, i, 0, static_cast<std::int64_t>(count - i));
+    }
+    if (stats_) {
+      ++batches_;
+      wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - batch_started)
+                      .count();
+    }
     return;
   }
   std::size_t base = 0;
@@ -109,10 +149,49 @@ void ExperimentRunner::run_indexed(std::size_t count,
   }
   work_cv_.notify_all();
   // The caller claims points alongside the pool.
-  claim_loop(base, base + count, fn);
+  claim_loop(base, base + count, fn, 0);
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return completed_ == count_; });
   fn_ = nullptr;
+  if (stats_) {
+    ++batches_;
+    wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - batch_started)
+                    .count();
+  }
+}
+
+void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
+                                       std::string_view prefix) const {
+  const std::string p(prefix);
+  const unsigned threads = thread_count();
+  registry.gauge(p + ".threads").set(static_cast<double>(threads));
+  registry.counter(p + ".batches").add(batches_);
+  const double wall_s = static_cast<double>(wall_ns_) * 1e-9;
+  registry.gauge(p + ".wall_s").set(wall_s);
+  std::int64_t total_points = 0;
+  if (stats_) {
+    for (unsigned i = 0; i < threads; ++i) {
+      const std::int64_t points = stats_[i].points.load(std::memory_order_relaxed);
+      const double busy_s =
+          static_cast<double>(stats_[i].busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+      total_points += points;
+      const std::string wp = p + ".worker." + std::to_string(i);
+      registry.counter(wp + ".points").add(points);
+      registry.gauge(wp + ".busy_s").set(busy_s);
+      // Idle = batch wall time the worker did not spend inside a point;
+      // clamped because clock skew can push busy a hair past wall.
+      registry.gauge(wp + ".idle_s").set(std::max(0.0, wall_s - busy_s));
+    }
+  }
+  registry.counter(p + ".points").add(total_points);
+  const std::int64_t samples = depth_samples_.load(std::memory_order_relaxed);
+  registry.gauge(p + ".queue_depth.mean")
+      .set(samples > 0 ? static_cast<double>(depth_sum_.load(std::memory_order_relaxed)) /
+                             static_cast<double>(samples)
+                       : 0.0);
+  registry.gauge(p + ".queue_depth.max")
+      .set(static_cast<double>(depth_max_.load(std::memory_order_relaxed)));
 }
 
 SharedTrace share_trace(trace::Trace trace) {

@@ -32,11 +32,21 @@
 
 #include "trace/stream.hpp"
 
+namespace craysim::obs {
+class MetricsRegistry;
+}
+
 namespace craysim::runner {
 
 struct RunnerOptions {
   /// Worker threads; 0 means one per hardware core.
   unsigned threads = 0;
+
+  /// Collect per-worker utilization and queue-depth telemetry, surfaced via
+  /// ExperimentRunner::publish_metrics. Costs two clock reads plus a few
+  /// relaxed atomic adds per point; off by default, in which case the claim
+  /// path is exactly the untelemetered one.
+  bool collect_telemetry = false;
 
   /// Honors CRAYSIM_RUNNER_THREADS when set (invalid values fall back to 0).
   [[nodiscard]] static RunnerOptions from_env();
@@ -81,6 +91,15 @@ class ExperimentRunner {
   /// below settle exceptions per point before they reach the pool).
   void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Publishes pool telemetry accumulated so far: `<prefix>.threads` /
+  /// `.batches` / `.points` / `.wall_s`, per-worker `.worker.<i>.points` /
+  /// `.busy_s` / `.idle_s` (worker 0 is the calling thread), and claim-time
+  /// backlog `.queue_depth.mean` / `.max`. Worker breakdowns appear only when
+  /// RunnerOptions::collect_telemetry was set. Must not race with a
+  /// concurrent run() on another thread.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix = "runner") const;
+
   /// Runs fn over every point; result i corresponds to points[i]. Exceptions
   /// are captured per point, never propagated.
   template <typename Point, typename Fn>
@@ -117,9 +136,20 @@ class ExperimentRunner {
   }
 
  private:
-  void worker_loop();
+  /// Per-worker telemetry tallies, cache-line separated so concurrent
+  /// workers never contend on a line. Allocated only when
+  /// RunnerOptions::collect_telemetry is set; null means telemetry is off.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::int64_t> points{0};
+    std::atomic<std::int64_t> busy_ns{0};
+  };
+
+  void worker_loop(unsigned worker);
   void claim_loop(std::size_t base, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn, unsigned worker);
+  void run_point(const std::function<void(std::size_t)>& fn, std::size_t index, unsigned worker,
+                 std::int64_t depth);
+  void note_claim(std::int64_t depth);
   void complete_one();
 
   std::vector<std::thread> workers_;
@@ -139,6 +169,16 @@ class ExperimentRunner {
   std::size_t count_ = 0;
   std::size_t completed_ = 0;
   std::atomic<std::size_t> next_index_{0};
+
+  // Telemetry. Workers publish into their own WorkerStats slot and the
+  // shared depth accumulators with relaxed atomics; batches_/wall_ns_ are
+  // touched by the calling thread only (run_indexed is not reentrant).
+  std::unique_ptr<WorkerStats[]> stats_;  ///< thread_count() slots, or null = off
+  std::atomic<std::int64_t> depth_sum_{0};
+  std::atomic<std::int64_t> depth_samples_{0};
+  std::atomic<std::int64_t> depth_max_{0};
+  std::int64_t batches_ = 0;
+  std::int64_t wall_ns_ = 0;
 };
 
 /// An immutable parsed trace shared across sweep points — parse once, replay

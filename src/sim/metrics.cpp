@@ -2,7 +2,52 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace craysim::sim {
+
+void SimResult::publish_metrics(obs::MetricsRegistry& registry, std::string_view prefix) const {
+  const std::string p(prefix);
+  const auto count = [&](const std::string& name, std::int64_t value) {
+    registry.counter(p + "." + name).add(value);
+  };
+  const auto gauge = [&](const std::string& name, double value) {
+    registry.gauge(p + "." + name).set(value);
+  };
+
+  gauge("total_wall_s", total_wall.seconds());
+  gauge("cpu_busy_s", cpu_busy.seconds());
+  gauge("cpu_idle_s", cpu_idle.seconds());
+  gauge("overhead_s", overhead_time.seconds());
+  gauge("cpu_utilization", cpu_utilization());
+  gauge("processes", static_cast<double>(processes.size()));
+
+  count("cache.read_requests", cache.read_requests);
+  count("cache.read_full_hits", cache.read_full_hits);
+  count("cache.read_partial_hits", cache.read_partial_hits);
+  count("cache.read_misses", cache.read_misses);
+  count("cache.write_requests", cache.write_requests);
+  count("cache.write_absorbed", cache.write_absorbed);
+  count("cache.readahead_issued", cache.readahead_issued);
+  count("cache.readahead_used_blocks", cache.readahead_used_blocks);
+  count("cache.readahead_fetched_blocks", cache.readahead_fetched_blocks);
+  count("cache.evictions", cache.evictions);
+  count("cache.space_waits", cache.space_waits);
+  count("cache.writes_cancelled_blocks", cache.writes_cancelled_blocks);
+
+  count("disk.read_ops", disk.read_ops);
+  count("disk.write_ops", disk.write_ops);
+  count("disk.bytes_read", disk.bytes_read);
+  count("disk.bytes_written", disk.bytes_written);
+  gauge("disk.busy_s", disk.busy_time.seconds());
+  gauge("disk.queue_wait_s", disk.queue_wait_time.seconds());
+  count("disk.transient_errors", disk.transient_errors);
+  count("disk.retries", disk.retries);
+  count("disk.permanent_failures", disk.permanent_failures);
+  count("disk.redirected_ios", disk.redirected_ios);
+  count("disk.latency_spikes", disk.latency_spikes);
+  gauge("disk.retry_backoff_s", disk.retry_backoff_time.seconds());
+}
 
 std::string SimResult::summary() const {
   char buf[512];

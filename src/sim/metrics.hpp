@@ -4,11 +4,16 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/stream.hpp"
 #include "util/time_series.hpp"
 #include "util/units.hpp"
+
+namespace craysim::obs {
+class MetricsRegistry;
+}
 
 namespace craysim::sim {
 
@@ -100,6 +105,12 @@ struct SimResult {
   [[nodiscard]] Ticks idle_time() const { return cpu_idle; }
 
   [[nodiscard]] std::string summary() const;
+
+  /// Publishes the result into a telemetry registry under `<prefix>.*`
+  /// (counters for the cache/disk tallies, gauges for times and ratios).
+  /// The exact metric-name set is pinned by tests/obs_golden_test and
+  /// documented in docs/OBSERVABILITY.md; treat renames as schema breaks.
+  void publish_metrics(obs::MetricsRegistry& registry, std::string_view prefix = "sim") const;
 };
 
 }  // namespace craysim::sim

@@ -12,6 +12,10 @@
 #include "faults/fault.hpp"
 #include "util/units.hpp"
 
+namespace craysim::obs {
+class SpanRecorder;
+}
+
 namespace craysim::sim {
 
 /// Round-robin CPU scheduler knobs ("a simple round-robin scheduler with a
@@ -102,6 +106,11 @@ struct SimParams {
   /// Injected failures (disk section only; the tracer consumes its own
   /// plan). The default plan injects nothing and is zero-cost.
   faults::FaultPlan faults;
+  /// Sim-time telemetry sink (non-owning; must outlive the simulator, and
+  /// must not be shared between concurrently running simulators). When null
+  /// — the default — every instrumentation site is a single predicted
+  /// branch and the simulation is bit-identical to an uninstrumented build.
+  obs::SpanRecorder* spans = nullptr;
 
   /// Named presets.
   [[nodiscard]] static SimParams paper_main_memory(Bytes cache_capacity);

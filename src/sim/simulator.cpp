@@ -4,17 +4,31 @@
 #include <cassert>
 #include <functional>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "workload/generator.hpp"
 
 namespace craysim::sim {
 
+const char* Simulator::io_kind_name(IoOp::Kind kind) {
+  switch (kind) {
+    case IoOp::Kind::kFetch: return "fetch";
+    case IoOp::Kind::kReadAhead: return "readahead";
+    case IoOp::Kind::kFlush: return "flush";
+    case IoOp::Kind::kWriteThrough: return "writethrough";
+    case IoOp::Kind::kBypass: return "bypass";
+  }
+  return "io";
+}
+
 Simulator::Simulator(SimParams params) : params_(std::move(params)) {
   if (params_.cpu_count < 1) throw ConfigError("cpu_count must be >= 1");
   cpus_.resize(static_cast<std::size_t>(params_.cpu_count));
+  spans_ = params_.spans;
   disk_ = std::make_unique<DiskModel>(params_.disk, params_.position, params_.disk_count,
                                       params_.disk_queueing, params_.seed ^ 0xd15c,
                                       params_.faults);
+  disk_->set_spans(spans_);
   if (params_.use_cache) {
     cache_ = std::make_unique<BufferCache>(params_.cache, result_.cache);
   }
@@ -54,8 +68,31 @@ void Simulator::push_event(Ticks time, EventKind kind, std::uint64_t arg) {
   std::push_heap(events_.begin(), events_.end(), std::greater<>{});
 }
 
+void Simulator::emit_span_metadata() {
+  spans_->name_process(obs::track::kProcesses, "processes (sim time)");
+  spans_->name_process(obs::track::kDisks, "disks");
+  spans_->name_process(obs::track::kIoOps, "I/O operations");
+  spans_->name_process(obs::track::kCache, "buffer cache");
+  for (const Proc& proc : procs_) {
+    spans_->name_thread(obs::track::kProcesses, proc.pid,
+                        proc.name + " (pid " + std::to_string(proc.pid) + ")");
+  }
+  for (std::int32_t d = 0; d < params_.disk_count; ++d) {
+    spans_->name_thread(obs::track::kDisks, static_cast<std::uint32_t>(d),
+                        "disk " + std::to_string(d));
+  }
+}
+
+void Simulator::note_evictions(std::int64_t before, Ticks t) {
+  if (spans_ && result_.cache.evictions > before) {
+    spans_->instant(obs::track::kCache, 0, "evict", t,
+                    {{"blocks", result_.cache.evictions - before}});
+  }
+}
+
 SimResult Simulator::run() {
   if (procs_.empty()) throw ConfigError("simulation has no processes");
+  if (spans_) emit_span_metadata();
   now_ = Ticks::zero();
   for (Cpu& cpu : cpus_) {
     cpu.running = kNoProcess;
@@ -145,6 +182,7 @@ void Simulator::release_cpu(Ticks now, Proc& proc) {
   if (proc.cpu < 0) return;
   Cpu& state = cpus_[static_cast<std::size_t>(proc.cpu)];
   assert(state.running == proc.pid);
+  if (spans_) spans_->end(obs::track::kProcesses, proc.pid, "run", now);
   state.running = kNoProcess;
   state.idle = true;
   state.idle_since = now;
@@ -170,6 +208,9 @@ void Simulator::on_dispatch(Ticks now) {
     cpus_[static_cast<std::size_t>(free_cpu)].running = pid;
     proc.cpu = free_cpu;
     proc.state = PState::kRunning;
+    if (spans_) {
+      spans_->begin(obs::track::kProcesses, pid, "run", now, {{"cpu", free_cpu}});
+    }
     result_.cpu_busy += params_.scheduler.context_switch;
     result_.overhead_time += params_.scheduler.context_switch;
     proc.slice_len = std::min(params_.scheduler.quantum, proc.remaining_compute);
@@ -212,6 +253,7 @@ void Simulator::finish_process(Ticks now, Proc& proc) {
   proc.finish_time = now;
   ++finished_;
   release_cpu(now, proc);
+  if (spans_) spans_->instant(obs::track::kProcesses, proc.pid, "finished", now);
   push_event(now, EventKind::kDispatch, 0);
 }
 
@@ -229,6 +271,9 @@ void Simulator::block_for_io(Ticks now, Proc& proc, std::int32_t waits) {
   proc.wait_count = waits;
   proc.blocked_since = now;
   release_cpu(now, proc);
+  if (spans_) {
+    spans_->begin(obs::track::kProcesses, proc.pid, "blocked:io", now, {{"waits", waits}});
+  }
   push_event(now, EventKind::kDispatch, 0);
 }
 
@@ -238,12 +283,24 @@ void Simulator::block_for_space(Ticks now, Proc& proc) {
   ++result_.cache.space_waits;
   space_waiters_.push_back(proc.pid);
   release_cpu(now, proc);
+  if (spans_) {
+    spans_->begin(obs::track::kProcesses, proc.pid, "blocked:space", now);
+    spans_->instant(obs::track::kCache, 0, "space_wait", now,
+                    {{"pid", proc.pid}});
+  }
   push_event(now, EventKind::kDispatch, 0);
   trigger_flush(now);
 }
 
 void Simulator::unblock(Ticks now, std::uint32_t pid, Ticks extra_delay) {
   Proc& proc = procs_[pid - 1];
+  // Clamp: blocked_since carries the fs_call overhead, so an op the process
+  // joined (submitted before this request) can complete inside that overhead
+  // window — sim-time "before" the block began. The span must not go
+  // backwards even then.
+  if (spans_) {
+    spans_->end(obs::track::kProcesses, pid, "blocked:io", std::max(now, proc.blocked_since));
+  }
   proc.blocked_total += now - proc.blocked_since;
   advance_to_next_request(proc);
   proc.state = PState::kReady;
@@ -289,6 +346,11 @@ void Simulator::submit_run_with_id(std::uint64_t id, Ticks now, const BlockRun& 
   op.notify_cache = true;
   if (sync_waiter != kNoProcess) op.waiters.push_back(sync_waiter);
   inflight_.emplace(id) = std::move(op);
+  if (spans_) {
+    spans_->async_begin(obs::track::kIoOps, id, "io", io_kind_name(kind), now,
+                        {{"file", static_cast<std::int64_t>(run.file)},
+                         {"blocks", run.count}});
+  }
   push_event(done, EventKind::kIoDone, id);
 }
 
@@ -314,6 +376,10 @@ std::uint64_t Simulator::submit_bypass(Ticks now, std::uint32_t gfile, Bytes off
   op.kind = IoOp::Kind::kBypass;
   op.notify_cache = false;
   inflight_.emplace(id) = std::move(op);
+  if (spans_) {
+    spans_->async_begin(obs::track::kIoOps, id, "io", "bypass", now,
+                        {{"file", static_cast<std::int64_t>(gfile)}, {"bytes", length}});
+  }
   push_event(done, EventKind::kIoDone, id);
   return id;
 }
@@ -352,6 +418,10 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     return;
   }
 
+  // Eviction probe baseline: plan_read/plan_write/try_issue_readahead evict
+  // internally; a metrics delta afterwards tells us when (and how many).
+  const std::int64_t evictions_before = spans_ ? result_.cache.evictions : 0;
+
   if (!req.write) {
     // --- Read --------------------------------------------------------------
     const std::uint64_t first_op = next_op_;
@@ -361,6 +431,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
       return;
     }
     account();
+    note_evictions(evictions_before, t);
     if (plan.bypass) {
       record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
       const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, false);
@@ -391,10 +462,12 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     }
     if (plan.readahead) {
       const std::uint64_t ra_id = next_op_;
+      const std::int64_t ra_evictions_before = spans_ ? result_.cache.evictions : 0;
       if (auto run = cache_->try_issue_readahead(pid, *plan.readahead, ra_id)) {
         ++next_op_;
         submit_run_with_id(ra_id, t, *run, /*write=*/false, IoOp::Kind::kReadAhead, kNoProcess);
       }
+      note_evictions(ra_evictions_before, t);
     }
     if (waits == 0) {
       continue_running(t, pid, plan.full_hit ? hit_delay(req.length) : Ticks::zero());
@@ -412,6 +485,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     return;
   }
   account();
+  note_evictions(evictions_before, t);
   if (plan.bypass) {
     record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
     const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, true);
@@ -451,6 +525,7 @@ void Simulator::on_io_done(Ticks now, std::uint64_t op_id) {
   if (found == nullptr) return;
   IoOp op = std::move(*found);
   inflight_.erase(op_id);
+  if (spans_) spans_->async_end(obs::track::kIoOps, op_id, "io", io_kind_name(op.kind), now);
 
   if (cache_ && op.notify_cache) {
     switch (op.kind) {
@@ -482,6 +557,10 @@ void Simulator::wake_space_waiters(Ticks now) {
   for (const std::uint32_t pid : space_waiters_) {
     Proc& proc = procs_[pid - 1];
     if (proc.state != PState::kBlockedSpace) continue;
+    // Same clamp as unblock(): completions can land inside the fs_call window.
+    if (spans_) {
+      spans_->end(obs::track::kProcesses, pid, "blocked:space", std::max(now, proc.blocked_since));
+    }
     proc.blocked_total += now - proc.blocked_since;
     proc.state = PState::kReady;
     ready_.push_back(pid);
@@ -496,6 +575,10 @@ void Simulator::trigger_flush(Ticks now, Ticks min_age) {
                                                 params_.cache.max_flush_run_blocks, now, min_age);
   for (const BlockRun& run : runs) {
     submit_run(now, run, /*write=*/true, IoOp::Kind::kFlush);
+  }
+  if (spans_) {
+    spans_->counter(obs::track::kCache, "dirty_blocks", now, "blocks",
+                    cache_->dirty_block_count());
   }
 }
 

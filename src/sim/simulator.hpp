@@ -101,6 +101,9 @@ class Simulator {
 
   static constexpr std::uint32_t kNoProcess = 0;
 
+  /// Span name for an I/O operation kind ("fetch", "flush", ...).
+  [[nodiscard]] static const char* io_kind_name(IoOp::Kind kind);
+
   void push_event(Ticks time, EventKind kind, std::uint64_t arg);
   void on_dispatch(Ticks now);
   void on_slice_end(Ticks now, std::uint32_t pid);
@@ -120,6 +123,13 @@ class Simulator {
   void release_cpu(Ticks now, Proc& proc);
   /// Stops the idle clock of `cpu` (a process is about to run there).
   void account_idle_until(Ticks now, std::int32_t cpu);
+
+  /// Emits a cache `evict` instant when evictions advanced past `before`
+  /// (cheap metric-delta probe; no BufferCache changes needed). No-op when
+  /// telemetry is off.
+  void note_evictions(std::int64_t before, Ticks t);
+  /// Names the Perfetto tracks (metadata events) once per run.
+  void emit_span_metadata();
 
   void record_disk_traffic(Ticks start, Ticks done, Bytes bytes, bool write);
   /// Appends an annotated logical record when SimParams::record_trace.
@@ -168,6 +178,7 @@ class Simulator {
   Ticks now_;
   std::size_t finished_ = 0;
   std::uint32_t next_trace_op_ = 1;
+  obs::SpanRecorder* spans_ = nullptr;  ///< copied from params; null = off
 };
 
 }  // namespace craysim::sim

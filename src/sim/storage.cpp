@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace craysim::sim {
@@ -155,6 +156,14 @@ Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes lengt
   } else {
     ++metrics_.read_ops;
     metrics_.bytes_read += length;
+  }
+  if (spans_) {
+    const auto tid = static_cast<std::uint32_t>(idx);
+    if (start > now) {
+      spans_->complete(obs::track::kDisks, tid, "queue", now, start - now);
+    }
+    spans_->complete(obs::track::kDisks, tid, write ? "write" : "read", start, access,
+                     {{"bytes", length}, {"file", static_cast<std::int64_t>(file)}});
   }
   return start + access;
 }

@@ -41,6 +41,11 @@ class DiskModel {
   [[nodiscard]] Ticks submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length,
                              bool write);
 
+  /// Attaches a sim-time span sink: each transfer then emits `queue` and
+  /// `read`/`write` slices on the disk's track (obs::track::kDisks, tid =
+  /// disk index). Null (the default) disables emission entirely.
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+
   [[nodiscard]] const DeviceMetrics& metrics() const { return metrics_; }
   /// Devices still accepting I/O (== disk_count until a permanent failure).
   [[nodiscard]] std::int32_t online_disks() const { return online_count_; }
@@ -85,6 +90,7 @@ class DiskModel {
   DeviceMetrics metrics_;
   std::optional<faults::FaultInjector> injector_;
   std::int32_t online_count_ = 0;
+  obs::SpanRecorder* spans_ = nullptr;  ///< non-owning; null = no telemetry
 };
 
 }  // namespace craysim::sim

@@ -1,11 +1,36 @@
 #include "trace/stream.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace craysim::trace {
+
+std::string ParseReport::summary() const {
+  char buf[160];
+  if (clean()) {
+    std::snprintf(buf, sizeof buf, "parse: %lld records, no malformed lines",
+                  static_cast<long long>(records_parsed));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "parse: %lld records, %lld malformed lines skipped (first: line %lld)",
+                  static_cast<long long>(records_parsed), static_cast<long long>(lines_skipped),
+                  static_cast<long long>(defects.empty() ? 0 : defects.front().line));
+  }
+  return buf;
+}
+
+void ParseReport::publish_metrics(obs::MetricsRegistry& registry,
+                                  std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.counter(p + ".records_parsed").add(records_parsed);
+  registry.counter(p + ".lines_skipped").add(lines_skipped);
+  registry.counter(p + ".defects_recorded").add(static_cast<std::int64_t>(defects.size()));
+}
+
 namespace {
 
 /// One line under the shared strict/recoverable decode policy (both readers

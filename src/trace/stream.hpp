@@ -4,10 +4,15 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/codec.hpp"
 #include "trace/record.hpp"
+
+namespace craysim::obs {
+class MetricsRegistry;
+}
 
 namespace craysim::trace {
 
@@ -45,6 +50,15 @@ struct ParseReport {
   std::vector<ParseDefect> defects;      ///< first kMaxRecordedDefects, in order
 
   [[nodiscard]] bool clean() const { return lines_skipped == 0; }
+
+  /// One human-readable line for run summaries, e.g.
+  /// "parse: 1200 records, 3 malformed lines skipped (first: line 17)".
+  [[nodiscard]] std::string summary() const;
+
+  /// Publishes `<prefix>.records_parsed` / `.lines_skipped` /
+  /// `.defects_recorded` counters (schema pinned by tests/obs_golden_test).
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix = "trace.parse") const;
 };
 
 /// Knobs for recoverable parsing.

@@ -1,11 +1,57 @@
 #include "tracer/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "trace/record.hpp"
 
 namespace craysim::tracer {
+
+void CollectorStats::publish_metrics(obs::MetricsRegistry& registry,
+                                     std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.counter(p + ".packets").add(packets);
+  registry.counter(p + ".entries").add(entries);
+  registry.counter(p + ".packet_bytes").add(packet_bytes);
+  registry.counter(p + ".forced_flushes").add(forced_flushes);
+  registry.counter(p + ".traced_io_bytes").add(traced_io_bytes);
+  registry.counter(p + ".packets_dropped").add(packets_dropped);
+  registry.counter(p + ".packets_duplicated").add(packets_duplicated);
+  registry.counter(p + ".packets_reordered").add(packets_reordered);
+  registry.counter(p + ".entries_corrupted").add(entries_corrupted);
+}
+
+std::string ReconstructionReport::summary() const {
+  char buf[200];
+  if (lossless()) {
+    std::snprintf(buf, sizeof buf, "reconstruct: %lld entries recovered, lossless",
+                  static_cast<long long>(entries_recovered));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "reconstruct: %lld entries recovered, %lld gaps (%lld packets missing), "
+                  "%lld duplicates, %lld out-of-order, %lld entries discarded",
+                  static_cast<long long>(entries_recovered), static_cast<long long>(gap_count),
+                  static_cast<long long>(packets_missing),
+                  static_cast<long long>(duplicates_discarded),
+                  static_cast<long long>(out_of_order_packets),
+                  static_cast<long long>(entries_discarded));
+  }
+  return buf;
+}
+
+void ReconstructionReport::publish_metrics(obs::MetricsRegistry& registry,
+                                           std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.counter(p + ".packets_delivered").add(packets_delivered);
+  registry.counter(p + ".duplicates_discarded").add(duplicates_discarded);
+  registry.counter(p + ".out_of_order_packets").add(out_of_order_packets);
+  registry.counter(p + ".gap_count").add(gap_count);
+  registry.counter(p + ".packets_missing").add(packets_missing);
+  registry.counter(p + ".entries_recovered").add(entries_recovered);
+  registry.counter(p + ".entries_discarded").add(entries_discarded);
+}
 
 double CollectorStats::overhead_fraction(Ticks io_syscall_time) const {
   if (entries == 0 || io_syscall_time <= Ticks::zero()) return 0.0;

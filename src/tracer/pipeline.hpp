@@ -17,6 +17,10 @@
 #include "trace/stream.hpp"
 #include "tracer/packet.hpp"
 
+namespace craysim::obs {
+class MetricsRegistry;
+}
+
 namespace craysim::tracer {
 
 struct TracerOptions {
@@ -49,6 +53,11 @@ struct CollectorStats {
   [[nodiscard]] double overhead_fraction(Ticks io_syscall_time) const;
   /// Mean encoded bytes per traced I/O (header amortization result).
   [[nodiscard]] double bytes_per_io() const;
+
+  /// Publishes the collector tallies (packets/entries/bytes plus the
+  /// channel-fault counters) as `<prefix>.*` counters.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix = "tracer.collector") const;
 };
 
 /// Receives packets (the paper's procstat daemon fed through a pipe). When
@@ -149,6 +158,15 @@ struct ReconstructionReport {
     return duplicates_discarded == 0 && out_of_order_packets == 0 && gap_count == 0 &&
            entries_discarded == 0;
   }
+
+  /// One human-readable line for run summaries, e.g. "reconstruct: 950
+  /// entries recovered, 2 gaps (5 packets missing), 3 entries discarded".
+  [[nodiscard]] std::string summary() const;
+
+  /// Publishes every tally above as `<prefix>.*` counters (schema pinned by
+  /// tests/obs_golden_test).
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix = "tracer.reconstruct") const;
 };
 
 struct ReconstructionResult {

@@ -1,0 +1,153 @@
+// Golden-output tests: pin the exact SimResult::summary() text and the
+// metrics-snapshot JSONL schema (the sorted metric-name list every publisher
+// contributes). These strings are consumed by scripts and dashboards;
+// changing them is an interface change and should be a conscious one — if a
+// diff here is intentional, update the goldens and docs/OBSERVABILITY.md.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "runner/runner.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stream.hpp"
+#include "tracer/pipeline.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim {
+namespace {
+
+sim::SimResult run_gcm() {
+  sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
+  sim::Simulator simulator(params);
+  simulator.add_app(workload::make_profile(workload::AppId::kGcm));
+  return simulator.run();
+}
+
+TEST(Golden, SimResultSummary) {
+  const std::string expected =
+      "wall 1899.11 s | busy 1898.36 s | idle 0.74 s | utilization 100.0% | overhead 1.22 s\n"
+      "cache: reads 645 (full hits 441, partial 202, misses 2) | writes 7300 (absorbed 7300) | "
+      "RA issued 442 acc 100% | evictions 56725 | space waits 0\n"
+      "disk: 646 reads / 1594 writes, 20.35 MB read / 233.67 MB written, busy 42.01 s, queue "
+      "wait 0.00 s\n"
+      "  proc 1 gcm        finished 1899.11 s (cpu 1897.00 s, blocked 0.73 s, 7945 I/Os, "
+      "20.31 MB R, 227.99 MB W)\n";
+  EXPECT_EQ(run_gcm().summary(), expected);
+}
+
+TEST(Golden, MetricsSnapshotSchema) {
+  obs::MetricsRegistry registry;
+
+  run_gcm().publish_metrics(registry);
+
+  trace::ParseReport parse_report;
+  parse_report.records_parsed = 10;
+  parse_report.publish_metrics(registry);
+
+  tracer::ReconstructionReport recon_report;
+  recon_report.entries_recovered = 10;
+  recon_report.publish_metrics(registry);
+
+  tracer::CollectorStats collector_stats;
+  collector_stats.packets = 1;
+  collector_stats.publish_metrics(registry);
+
+  obs::PhaseProfiler phases;
+  phases.add("simulate", 0.5);
+  phases.publish_metrics(registry);
+
+  runner::RunnerOptions options;
+  options.threads = 2;
+  options.collect_telemetry = true;
+  runner::ExperimentRunner pool(options);
+  pool.run_indexed(4, [](std::size_t) {});
+  pool.publish_metrics(registry);
+
+  std::string names;
+  for (const std::string& name : registry.metric_names()) names += name + "\n";
+  const std::string expected =
+      "phase.simulate_s\n"
+      "phase.total_s\n"
+      "runner.batches\n"
+      "runner.points\n"
+      "runner.queue_depth.max\n"
+      "runner.queue_depth.mean\n"
+      "runner.threads\n"
+      "runner.wall_s\n"
+      "runner.worker.0.busy_s\n"
+      "runner.worker.0.idle_s\n"
+      "runner.worker.0.points\n"
+      "runner.worker.1.busy_s\n"
+      "runner.worker.1.idle_s\n"
+      "runner.worker.1.points\n"
+      "sim.cache.evictions\n"
+      "sim.cache.read_full_hits\n"
+      "sim.cache.read_misses\n"
+      "sim.cache.read_partial_hits\n"
+      "sim.cache.read_requests\n"
+      "sim.cache.readahead_fetched_blocks\n"
+      "sim.cache.readahead_issued\n"
+      "sim.cache.readahead_used_blocks\n"
+      "sim.cache.space_waits\n"
+      "sim.cache.write_absorbed\n"
+      "sim.cache.write_requests\n"
+      "sim.cache.writes_cancelled_blocks\n"
+      "sim.cpu_busy_s\n"
+      "sim.cpu_idle_s\n"
+      "sim.cpu_utilization\n"
+      "sim.disk.busy_s\n"
+      "sim.disk.bytes_read\n"
+      "sim.disk.bytes_written\n"
+      "sim.disk.latency_spikes\n"
+      "sim.disk.permanent_failures\n"
+      "sim.disk.queue_wait_s\n"
+      "sim.disk.read_ops\n"
+      "sim.disk.redirected_ios\n"
+      "sim.disk.retries\n"
+      "sim.disk.retry_backoff_s\n"
+      "sim.disk.transient_errors\n"
+      "sim.disk.write_ops\n"
+      "sim.overhead_s\n"
+      "sim.processes\n"
+      "sim.total_wall_s\n"
+      "trace.parse.defects_recorded\n"
+      "trace.parse.lines_skipped\n"
+      "trace.parse.records_parsed\n"
+      "tracer.collector.entries\n"
+      "tracer.collector.entries_corrupted\n"
+      "tracer.collector.forced_flushes\n"
+      "tracer.collector.packet_bytes\n"
+      "tracer.collector.packets\n"
+      "tracer.collector.packets_dropped\n"
+      "tracer.collector.packets_duplicated\n"
+      "tracer.collector.packets_reordered\n"
+      "tracer.collector.traced_io_bytes\n"
+      "tracer.reconstruct.duplicates_discarded\n"
+      "tracer.reconstruct.entries_discarded\n"
+      "tracer.reconstruct.entries_recovered\n"
+      "tracer.reconstruct.gap_count\n"
+      "tracer.reconstruct.out_of_order_packets\n"
+      "tracer.reconstruct.packets_delivered\n"
+      "tracer.reconstruct.packets_missing\n";
+  EXPECT_EQ(names, expected);
+}
+
+TEST(Golden, JsonlLineFormats) {
+  obs::MetricsRegistry registry;
+  registry.counter("demo.count").add(7);
+  registry.gauge("demo.level").set(0.125);
+  obs::Histogram& h = registry.histogram("demo.latency");
+  h.record(1.0);
+  h.record(2.0);
+  h.record(4.0);
+  EXPECT_EQ(registry.snapshot_jsonl(),
+            "{\"metric\":\"demo.count\",\"type\":\"counter\",\"value\":7}\n"
+            "{\"metric\":\"demo.latency\",\"type\":\"histogram\",\"count\":3,\"min\":1,"
+            "\"max\":4,\"mean\":2.33333333,\"p50\":2,\"p90\":4,\"p99\":4}\n"
+            "{\"metric\":\"demo.level\",\"type\":\"gauge\",\"value\":0.125}\n");
+}
+
+}  // namespace
+}  // namespace craysim

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
@@ -233,6 +234,56 @@ TEST(ExperimentRunnerTest, EnvironmentOverridesThreadCount) {
   EXPECT_EQ(RunnerOptions::from_env().threads, 0u);
   ASSERT_EQ(unsetenv("CRAYSIM_RUNNER_THREADS"), 0);
   EXPECT_EQ(RunnerOptions::from_env().threads, 0u);
+}
+
+TEST(ExperimentRunnerTest, TelemetryAccountsForEveryPoint) {
+  RunnerOptions options;
+  options.threads = 3;
+  options.collect_telemetry = true;
+  ExperimentRunner pool(options);
+  constexpr std::size_t kPoints = 40;
+  std::atomic<int> ran{0};
+  pool.run_indexed(kPoints, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  pool.run_indexed(kPoints, [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 2 * static_cast<int>(kPoints));
+
+  obs::MetricsRegistry registry;
+  pool.publish_metrics(registry);
+  EXPECT_EQ(registry.gauge("runner.threads").value(), 3.0);
+  EXPECT_EQ(registry.counter("runner.batches").value(), 2);
+  // Every executed point lands in exactly one worker's tally.
+  EXPECT_EQ(registry.counter("runner.points").value(), 2 * static_cast<std::int64_t>(kPoints));
+  std::int64_t per_worker = 0;
+  for (int w = 0; w < 3; ++w) {
+    per_worker +=
+        registry.counter("runner.worker." + std::to_string(w) + ".points").value();
+  }
+  EXPECT_EQ(per_worker, 2 * static_cast<std::int64_t>(kPoints));
+  EXPECT_GT(registry.gauge("runner.wall_s").value(), 0.0);
+  EXPECT_GT(registry.gauge("runner.worker.0.busy_s").value(), 0.0);
+  // The first claim of each batch saw the full backlog.
+  EXPECT_EQ(registry.gauge("runner.queue_depth.max").value(),
+            static_cast<double>(kPoints));
+}
+
+TEST(ExperimentRunnerTest, TelemetryOffPublishesNoWorkerBreakdown) {
+  RunnerOptions options;
+  options.threads = 2;
+  ExperimentRunner pool(options);
+  pool.run_indexed(4, [](std::size_t) {});
+  obs::MetricsRegistry registry;
+  pool.publish_metrics(registry);
+  // Without collect_telemetry nothing is tracked, by design — the claim
+  // path must stay clock-free.
+  EXPECT_EQ(registry.counter("runner.batches").value(), 0);
+  EXPECT_EQ(registry.counter("runner.points").value(), 0);
+  const auto names = registry.metric_names();
+  for (const auto& name : names) {
+    EXPECT_EQ(name.find("runner.worker."), std::string::npos) << name;
+  }
 }
 
 }  // namespace

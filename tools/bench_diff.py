@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json snapshots and flag ns/op regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
+
+Reads the sectioned flat-JSON format written by bench_common.hpp's
+write_json_section (e.g. BENCH_micro.json), compares every ``*_ns_per_op``
+key the two snapshots share, and prints a delta table. Exits nonzero when any
+shared benchmark regressed by more than ``--tolerance`` (fractional; the
+default 0.10 means ns/op grew >10%). Keys present on only one side are
+reported but never fail the comparison, so adding or retiring a benchmark
+does not break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_ns_per_op(path):
+    """Flattens {"section": {"BM_x_ns_per_op": 1.0, ...}} to one dict."""
+    with open(path) as f:
+        data = json.load(f)
+    flat = {}
+    for section, body in data.items():
+        if not isinstance(body, dict):
+            continue
+        for key, value in body.items():
+            if key.endswith("_ns_per_op") and isinstance(value, (int, float)):
+                flat[f"{section}.{key}"] = float(value)
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_micro.json")
+    parser.add_argument("current", help="current BENCH_micro.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="fractional ns/op growth allowed before failing (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    base = load_ns_per_op(args.baseline)
+    curr = load_ns_per_op(args.current)
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("bench_diff: no shared *_ns_per_op keys between the two snapshots",
+              file=sys.stderr)
+        return 2
+
+    name_w = max(len(k) for k in shared)
+    print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    regressions = []
+    for key in shared:
+        b, c = base[key], curr[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.tolerance:
+            flag = "  REGRESSED"
+            regressions.append((key, delta))
+        elif delta < -args.tolerance:
+            flag = "  improved"
+        print(f"{key:<{name_w}}  {b:>12.4g}  {c:>12.4g}  {delta:>+7.1%}{flag}")
+
+    for key in sorted(set(base) - set(curr)):
+        print(f"{key:<{name_w}}  {base[key]:>12.4g}  {'(absent)':>12}")
+    for key in sorted(set(curr) - set(base)):
+        print(f"{key:<{name_w}}  {'(absent)':>12}  {curr[key]:>12.4g}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.tolerance:.0%}:")
+        for key, delta in regressions:
+            print(f"  {key}: {delta:+.1%}")
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.0%} "
+          f"across {len(shared)} shared benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

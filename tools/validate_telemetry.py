@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate craysim telemetry artifacts: Perfetto JSON and metrics JSONL.
+
+Usage:
+    tools/validate_telemetry.py --perfetto trace.json --metrics metrics.jsonl
+
+Checks (any failure exits nonzero, printing what broke):
+  Perfetto (Chrome trace-event JSON):
+    * file parses, has a "traceEvents" list with at least one event
+    * timestamps are monotonically nondecreasing in file order
+    * B/E events balance with stack discipline per (pid, tid)
+    * async b/e events balance per (cat, id)
+    * X events have nonnegative durations; i events carry a scope
+  Metrics JSONL:
+    * every line is a standalone JSON object with "metric" and "type"
+    * lines are sorted by metric name with no duplicates
+    * counters carry integer values, gauges numeric values, histograms the
+      count/min/max/mean/p50/p90/p99 summary
+    * when --require is given, each listed metric name (or "prefix.*"
+      pattern) must be present
+
+CI's telemetry smoke job runs this over examples/observe's output.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"validate_telemetry: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_perfetto(path):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents array")
+
+    stacks = {}       # (pid, tid) -> [names] for B/E
+    open_async = {}   # (cat, id) -> open count for b/e
+    last_ts = None
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{path}: event {i} has no numeric ts: {e}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: event {i} ts {ts} goes backwards (previous {last_ts})")
+        last_ts = ts
+        if ph == "B":
+            stacks.setdefault((e.get("pid"), e.get("tid")), []).append(e.get("name"))
+        elif ph == "E":
+            stack = stacks.get((e.get("pid"), e.get("tid")), [])
+            if not stack:
+                fail(f"{path}: event {i} E '{e.get('name')}' on empty stack")
+            top = stack.pop()
+            if top != e.get("name"):
+                fail(f"{path}: event {i} E '{e.get('name')}' closes '{top}'")
+        elif ph == "b":
+            key = (e.get("cat"), e.get("id"))
+            open_async[key] = open_async.get(key, 0) + 1
+        elif ph == "e":
+            key = (e.get("cat"), e.get("id"))
+            if open_async.get(key, 0) <= 0:
+                fail(f"{path}: event {i} async end without begin: {key}")
+            open_async[key] -= 1
+        elif ph == "X":
+            if e.get("dur", 0) < 0:
+                fail(f"{path}: event {i} X with negative dur")
+        elif ph == "i":
+            if "s" not in e:
+                fail(f"{path}: event {i} instant without scope")
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"{path}: unclosed span '{stack[-1]}' on track {key}")
+    for key, count in open_async.items():
+        if count != 0:
+            fail(f"{path}: unclosed async span {key}")
+    print(f"{path}: OK ({len(events)} events, monotonic, balanced)")
+
+
+HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def validate_metrics(path, required):
+    names = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{path}:{lineno}: not a JSON object")
+            name = obj.get("metric")
+            kind = obj.get("type")
+            if not isinstance(name, str) or not name:
+                fail(f"{path}:{lineno}: missing metric name")
+            if kind == "counter":
+                if not isinstance(obj.get("value"), int):
+                    fail(f"{path}:{lineno}: counter '{name}' value is not an integer")
+            elif kind == "gauge":
+                if not isinstance(obj.get("value"), (int, float)):
+                    fail(f"{path}:{lineno}: gauge '{name}' value is not numeric")
+            elif kind == "histogram":
+                for field in HISTOGRAM_FIELDS:
+                    if not isinstance(obj.get(field), (int, float)):
+                        fail(f"{path}:{lineno}: histogram '{name}' missing '{field}'")
+            else:
+                fail(f"{path}:{lineno}: unknown type '{kind}'")
+            names.append(name)
+    if not names:
+        fail(f"{path}: no metrics")
+    if names != sorted(names):
+        fail(f"{path}: metric names are not sorted")
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate metric names")
+    for want in required:
+        if want.endswith(".*"):
+            prefix = want[:-1]
+            if not any(n.startswith(prefix) for n in names):
+                fail(f"{path}: no metric matches required pattern '{want}'")
+        elif want not in names:
+            fail(f"{path}: required metric '{want}' is missing")
+    print(f"{path}: OK ({len(names)} metrics, sorted, schema valid)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--perfetto", help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", help="metrics snapshot JSONL file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        help="metric name (or 'prefix.*') that must be present; repeatable",
+    )
+    args = parser.parse_args()
+    if not args.perfetto and not args.metrics:
+        parser.error("nothing to validate: pass --perfetto and/or --metrics")
+    if args.perfetto:
+        validate_perfetto(args.perfetto)
+    if args.metrics:
+        validate_metrics(args.metrics, args.require)
+
+
+if __name__ == "__main__":
+    main()
