@@ -5,11 +5,14 @@
 // We run a hog-prone pair (venus + les) in a mid-size cache with and without
 // per-process ownership caps.
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -20,10 +23,15 @@ struct Config {
   craysim::Bytes cap;
 };
 
-craysim::sim::SimResult run_config(const Config& config) {
+craysim::sim::SimParams config_params(const Config& config) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
   params.cache.per_process_cap = config.cap;
+  return params;
+}
+
+craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
+  using namespace craysim;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kLes, 22));
@@ -32,8 +40,9 @@ craysim::sim::SimResult run_config(const Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Ablation: per-process buffer ownership caps (venus + les, 32 MB cache)");
 
   const std::vector<Config> configs = {
@@ -42,8 +51,17 @@ int main() {
       {"cap = 1/4 of cache", Bytes{8} * kMB},
       {"cap = 1/8 of cache", Bytes{4} * kMB},
   };
-  runner::ExperimentRunner pool;
-  const auto results = pool.run(configs, run_config);
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, configs.size());
+  std::vector<std::size_t> indices(configs.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const auto results = pool.run(indices, [&](std::size_t i) {
+    sim::SimParams params = config_params(configs[i]);
+    sweep_obs.instrument(i, configs[i].name, params);
+    return run_with(params);
+  });
 
   TextTable table({"configuration", "wall s", "idle s", "util %", "space waits"});
   double util_uncapped = 0;
@@ -69,5 +87,18 @@ int main() {
 
   bench::check(util_worst_capped <= util_uncapped + 0.005,
                "ownership caps do not improve utilization (and can worsen it)");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, config_params(configs[0]),
+                                [](const sim::SimParams& p) { (void)run_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    results[0].publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

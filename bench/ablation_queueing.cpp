@@ -4,11 +4,14 @@
 // no-queueing model on one virtual disk, (b) FIFO queueing on one disk,
 // (c) FIFO queueing across a small farm of disks with file affinity.
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -20,11 +23,16 @@ struct Config {
   std::int32_t disks;
 };
 
-craysim::sim::SimResult run_config(const Config& config) {
+craysim::sim::SimParams config_params(const Config& config) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
   params.disk_queueing = config.queueing;
   params.disk_count = config.disks;
+  return params;
+}
+
+craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
+  using namespace craysim;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
@@ -33,8 +41,9 @@ craysim::sim::SimResult run_config(const Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Ablation: disk queueing (2 x venus, 32 MB main-memory cache)");
 
   const std::vector<Config> configs = {
@@ -43,8 +52,17 @@ int main() {
       {"FIFO queueing, 4 disks", true, 4},
       {"FIFO queueing, 16 disks", true, 16},
   };
-  runner::ExperimentRunner pool;
-  const auto results = pool.run(configs, run_config);
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, configs.size());
+  std::vector<std::size_t> indices(configs.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const auto results = pool.run(indices, [&](std::size_t i) {
+    sim::SimParams params = config_params(configs[i]);
+    sweep_obs.instrument(i, configs[i].name, params);
+    return run_with(params);
+  });
 
   TextTable table({"configuration", "wall s", "idle s", "util %", "disk queue wait s"});
   double wall_paper = 0;
@@ -67,5 +85,18 @@ int main() {
 
   bench::check(wall_queue1 > wall_paper * 1.05,
                "single-disk FIFO queueing slows the workload vs the paper's optimistic model");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, config_params(configs[2]),
+                                [](const sim::SimParams& p) { (void)run_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    results[0].publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

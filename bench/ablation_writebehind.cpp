@@ -3,11 +3,15 @@
 //  simulation of two identical copies of venus running with a 128 MB cache."
 // Also ablates read-ahead, since the section credits both techniques.
 #include <cstdio>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -18,29 +22,49 @@ struct PolicyPoint {
   bool read_ahead = false;
 };
 
-craysim::sim::SimResult run_config(const PolicyPoint& point) {
+craysim::sim::SimParams point_params(const PolicyPoint& point) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_ssd(Bytes{128} * kMB);
   params.cache.write_behind = point.write_behind;
   params.cache.read_ahead = point.read_ahead;
+  return params;
+}
+
+craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
+  using namespace craysim;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
   return simulator.run();
 }
 
+std::string point_label(const PolicyPoint& point) {
+  return std::string("WB ") + (point.write_behind ? "on" : "off") + ", RA " +
+         (point.read_ahead ? "on" : "off");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Ablation: write-behind and read-ahead (2 x venus, 128 MB cache)");
 
   std::vector<PolicyPoint> points;
   for (const bool wb : {true, false}) {
     for (const bool ra : {true, false}) points.push_back({wb, ra});
   }
-  runner::ExperimentRunner pool;
-  const auto results = pool.run(points, run_config);
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, points.size());
+  std::vector<std::size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const auto results = pool.run(indices, [&](std::size_t i) {
+    sim::SimParams params = point_params(points[i]);
+    sweep_obs.instrument(i, point_label(points[i]), params);
+    return run_with(params);
+  });
 
   TextTable table({"write-behind", "read-ahead", "idle s", "wall s", "utilization %"});
   double idle_wb = 0;
@@ -64,5 +88,18 @@ int main() {
   bench::check(idle_no_wb > 100.0, "without write-behind, idle time is in the hundreds of seconds");
   bench::check(idle_no_wb / std::max(idle_wb, 0.5) > 20.0,
                "write-behind removes the overwhelming majority of idle time");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, point_params(points[0]),
+                                [](const sim::SimParams& p) { (void)run_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    results[0].publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

@@ -67,16 +67,33 @@ inline std::string take_json_arg(int& argc, char** argv) {
 
 /// Telemetry destinations shared by the instrumented benches and examples:
 /// "--metrics <path>" names a metrics-snapshot JSONL file, "--perfetto
-/// <path>" a Chrome trace-event JSON file. Either may be absent (empty path =
-/// that sink is off). Parsing only — the caller owns the obs:: objects.
+/// <path>" a single-point Chrome trace-event JSON file, "--perfetto-sweep
+/// <path>" a merged multi-point trace (every sweep point as its own labeled
+/// Perfetto process group), "--timeseries <path>" the counter samples as
+/// JSONL, and "--counter-interval <ms>" the sim-time sampling period. Any
+/// may be absent (empty path = that sink is off). Parsing only — the caller
+/// owns the obs:: objects (see SweepObserver in sweep_obs.hpp for the
+/// sweep-scale ones).
 struct ObsArgs {
   std::string metrics_path;
   std::string perfetto_path;
+  std::string perfetto_sweep_path;
+  std::string timeseries_path;
+  double counter_interval_ms = 0.0;  ///< 0 = SweepObserver's default
+
+  /// Did the user ask for any per-sweep-point recording?
+  [[nodiscard]] bool sweep_telemetry() const {
+    return !perfetto_sweep_path.empty() || !timeseries_path.empty();
+  }
 
   [[nodiscard]] static ObsArgs take(int& argc, char** argv) {
     ObsArgs args;
     args.metrics_path = take_value_arg(argc, argv, "--metrics");
     args.perfetto_path = take_value_arg(argc, argv, "--perfetto");
+    args.perfetto_sweep_path = take_value_arg(argc, argv, "--perfetto-sweep");
+    args.timeseries_path = take_value_arg(argc, argv, "--timeseries");
+    const std::string interval = take_value_arg(argc, argv, "--counter-interval");
+    if (!interval.empty()) args.counter_interval_ms = std::stod(interval);
     return args;
   }
 };

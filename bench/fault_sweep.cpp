@@ -9,15 +9,22 @@
 //
 // Both sweeps fan out across the experiment runner; the drop-rate points all
 // read one shared, immutable copy of the synthesized venus trace.
+//
+// Telemetry ("--metrics", "--perfetto", "--perfetto-sweep", "--timeseries",
+// "--counter-interval <ms>") instruments the disk-fault *simulator* sweep;
+// the tracer drop-rate sweep has no simulator and stays untelemetered.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "faults/fault.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "trace/stats.hpp"
 #include "tracer/pipeline.hpp"
 #include "util/table.hpp"
@@ -40,22 +47,34 @@ struct DropResult {
   craysim::trace::TraceStats stats;
 };
 
-craysim::sim::SimResult run_disk_point(double rate) {
+craysim::sim::SimParams disk_point_params(double rate) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
   params.disk_count = 4;
   params.faults.disk.transient_error_rate = rate;
   params.faults.disk.permanent_error_rate = rate / 20.0;
+  return params;
+}
+
+craysim::sim::SimResult run_disk_with(const craysim::sim::SimParams& params) {
+  using namespace craysim;
   sim::Simulator sim(params);
   sim.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   sim.add_app(workload::make_profile(workload::AppId::kLes, 22));
   return sim.run();
 }
 
+std::string disk_point_label(double rate) {
+  char label[48];
+  std::snprintf(label, sizeof label, "disk err %g%%", 100.0 * rate);
+  return label;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Fault sweep: lossy trace recovery fidelity");
 
   const runner::SharedTrace original = runner::share_trace(
@@ -65,7 +84,9 @@ int main() {
   options.entries_per_packet = 16;  // small packets so drops bite at low rates
 
   const std::vector<double> drop_rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
-  runner::ExperimentRunner pool;
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
   const std::vector<DropResult> drops = pool.run(drop_rates, [&](double rate) {
     faults::FaultPlan plan;
     plan.packet.drop_rate = rate;
@@ -122,7 +143,14 @@ int main() {
 
   bench::heading("Fault sweep: simulator under injected disk failures");
   const std::vector<double> error_rates = {0.0, 0.01, 0.05, 0.10};
-  const std::vector<sim::SimResult> disk_results = pool.run(error_rates, run_disk_point);
+  bench::SweepObserver sweep_obs(obs_args, error_rates.size());
+  std::vector<std::size_t> indices(error_rates.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const std::vector<sim::SimResult> disk_results = pool.run(indices, [&](std::size_t i) {
+    sim::SimParams params = disk_point_params(error_rates[i]);
+    sweep_obs.instrument(i, disk_point_label(error_rates[i]), params);
+    return run_disk_with(params);
+  });
   TextTable disks({"transient rate %", "wall s", "slowdown %", "transients", "retries",
                    "backoff s", "disks lost"});
   const double base_wall = disk_results[0].total_wall.seconds();
@@ -145,5 +173,18 @@ int main() {
   bench::check(accounting_ok, "reported missing packets always equal the injected drops");
   bench::check(fidelity_ok, "summary statistics stay within 10% of lossless up to 5% drop");
   bench::check(survived_ok, "the simulator completes every run, even degraded");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, disk_point_params(0.05),
+                                [](const sim::SimParams& p) { (void)run_disk_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    disk_results.back().publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return accounting_ok && fidelity_ok && survived_ok ? 0 : 1;
 }

@@ -11,24 +11,40 @@
 
 #include "analysis/series.hpp"
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "workload/profiles.hpp"
 
-int main() {
+namespace {
+
+craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
   using namespace craysim;
+  sim::Simulator simulator(params);
+  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
+  return simulator.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Figure 7: 2 x venus, 128 MB SSD cache -- disk data rate (wall time)");
 
   // A single configuration, still dispatched through the experiment runner so
   // every figure bench shares one execution path.
-  runner::ExperimentRunner pool;
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, 1);
   const std::vector<int> points = {0};
-  sim::SimResult result = std::move(pool.run(points, [](int) {
+  sim::SimResult result = std::move(pool.run(points, [&](int) {
     sim::SimParams params = sim::SimParams::paper_ssd(Bytes{128} * kMB);
-    sim::Simulator simulator(params);
-    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
-    simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
-    return simulator.run();
+    sweep_obs.instrument(0, "venus x2, 128 MB SSD", params);
+    return run_with(params);
   })[0]);
 
   auto rates = result.disk_rate.rates();
@@ -51,5 +67,18 @@ int main() {
                "writes from cache to disk still arrive in bursts");
   bench::check(result.cpu_idle < Ticks::from_seconds(10),
                "2 x venus runs with little or no idle time in a 128 MB cache");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, sim::SimParams::paper_ssd(Bytes{128} * kMB),
+                                [](const sim::SimParams& p) { (void)run_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    result.publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

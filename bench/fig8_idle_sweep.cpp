@@ -8,12 +8,19 @@
 // The 14 (size, block-size) simulations fan out across the experiment
 // runner; results come back in sweep order, so the table and CSV are
 // byte-identical to a serial run.
+//
+// Telemetry: "--metrics", "--perfetto" (one instrumented 32 MB / 4 K
+// replay), "--perfetto-sweep" (all 14 points merged into one Perfetto
+// timeline), "--timeseries", "--counter-interval <ms>". All passive.
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -24,20 +31,31 @@ struct SweepPoint {
   craysim::Bytes block = 0;
 };
 
-craysim::sim::SimResult run_config(const SweepPoint& point) {
+craysim::sim::SimParams point_params(const SweepPoint& point) {
   using namespace craysim;
   sim::SimParams params = sim::SimParams::paper_ssd(point.cache_mb * kMB);
   params.cache.block_size = point.block;
+  return params;
+}
+
+craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
+  using namespace craysim;
   sim::Simulator simulator(params);
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
   simulator.add_app(workload::make_profile(workload::AppId::kVenus, 22));
   return simulator.run();
 }
 
+std::string point_label(const SweepPoint& point) {
+  return std::to_string(point.cache_mb) + " MB / " +
+         (point.block == 4 * craysim::kKiB ? "4K" : "8K");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace craysim;
+  const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
   bench::heading("Figure 8: idle time vs cache size, 2 x venus (4 KB and 8 KB blocks)");
 
   const Bytes sizes_mb[] = {4, 8, 16, 32, 64, 128, 256};
@@ -46,8 +64,17 @@ int main() {
     points.push_back({mb, 4 * kKiB});
     points.push_back({mb, 8 * kKiB});
   }
-  runner::ExperimentRunner pool;
-  const auto results = pool.run(points, run_config);
+  runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
+  runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, points.size());
+  std::vector<std::size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const auto results = pool.run(indices, [&](std::size_t i) {
+    sim::SimParams params = point_params(points[i]);
+    sweep_obs.instrument(i, point_label(points[i]), params);
+    return run_with(params);
+  });
 
   TextTable table({"cache MB", "idle s (4K blocks)", "idle s (8K blocks)", "wall s (4K)",
                    "util % (4K)"});
@@ -78,5 +105,18 @@ int main() {
   bench::check(idle_big_4k < 5.0, "a 256 MB cache eliminates nearly all idle time");
   bench::check(idle_small_4k > 20.0 * std::max(idle_big_4k, 0.5),
                "idle time falls by orders of magnitude across the sweep");
+
+  if (!sweep_obs.finish()) return 1;
+  if (!bench::write_point_trace(obs_args, point_params({32, 4 * kKiB}),
+                                [](const sim::SimParams& p) { (void)run_with(p); })) {
+    return 1;
+  }
+  if (!obs_args.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    results[0].publish_metrics(registry, "sim");
+    pool.publish_metrics(registry);
+    registry.save_jsonl(obs_args.metrics_path);
+    std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
+  }
   return 0;
 }

@@ -11,10 +11,14 @@
 // Telemetry: "--metrics <path>" writes a JSONL snapshot (runner worker
 // utilization, phase wall times, and the venus RA+WB point's sim metrics);
 // "--perfetto <path>" re-runs that venus point with the span recorder on and
-// writes a Chrome trace-event file loadable in Perfetto. Both flags are
-// passive — the sweep itself always runs untelemetered, so its table is
-// byte-identical with and without them.
+// writes a Chrome trace-event file loadable in Perfetto. "--perfetto-sweep
+// <path>" instruments the real 28-point sweep instead — every point records
+// into its own SpanRecorder and the merged trace shows all of them as
+// labeled process groups; "--timeseries <path>" adds the sim-time counter
+// samples as JSONL ("--counter-interval <ms>" tunes the period). All flags
+// are passive: the sweep's table is byte-identical with and without them.
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -23,6 +27,7 @@
 #include "obs/span.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulator.hpp"
+#include "sweep_obs.hpp"
 #include "util/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -49,8 +54,12 @@ sim::SimResult run_point(const PolicyPoint& point, const sim::SimParams& params)
   return simulator.run();
 }
 
-double utilization(const PolicyPoint& point) {
-  return run_point(point, point_params(point)).cpu_utilization();
+std::string point_label(const PolicyPoint& point) {
+  std::string label{workload::app_name(point.app)};
+  if (point.read_ahead && point.write_behind) return label + " RA+WB";
+  if (point.read_ahead) return label + " RA only";
+  if (point.write_behind) return label + " WB only";
+  return label + " neither";
 }
 
 }  // namespace
@@ -73,11 +82,19 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   runner::ExperimentRunner pool(runner_options);
+  bench::SweepObserver sweep_obs(obs_args, points.size());
+  std::vector<std::size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
   std::vector<double> utils;
   {
     const auto scope = phases.scope("sweep");
-    utils = pool.run(points, utilization);
+    utils = pool.run(indices, [&](std::size_t i) {
+      sim::SimParams params = point_params(points[i]);
+      sweep_obs.instrument(i, point_label(points[i]), params);
+      return run_point(points[i], params).cpu_utilization();
+    });
   }
+  if (!sweep_obs.finish()) return 1;
   const auto util_of = [&](workload::AppId app, std::size_t policy) {
     for (std::size_t a = 0; a < apps.size(); ++a) {
       if (apps[a] == app) return 100.0 * utils[a * 4 + policy];

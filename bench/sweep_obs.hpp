@@ -1,0 +1,100 @@
+// Sweep-scale telemetry helper shared by the figure/table benches.
+//
+// Wraps an obs::SpanRecorderPool behind the ObsArgs flags: each sweep point
+// claims its own recorder (plus the sim-time counter sampling interval)
+// right where its SimParams are built, and finish() validates every
+// recording and writes the merged Perfetto trace / counter time series the
+// user asked for. With neither --perfetto-sweep nor --timeseries given the
+// pool is disabled and instrument() is a no-op, so the sweep's results and
+// printed output are byte-identical to an untelemetered run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "obs/span_pool.hpp"
+#include "sim/params.hpp"
+
+namespace craysim::bench {
+
+/// Sampling period used when sweep telemetry is on but --counter-interval
+/// was not given: 100 ms of simulated time keeps even hour-long runs under
+/// ~40k samples per counter track.
+inline constexpr double kDefaultCounterIntervalMs = 100.0;
+
+class SweepObserver {
+ public:
+  SweepObserver(const ObsArgs& args, std::size_t points)
+      : args_(args), pool_(points, args.sweep_telemetry()) {}
+
+  [[nodiscard]] bool enabled() const { return pool_.enabled(); }
+  [[nodiscard]] obs::SpanRecorderPool& pool() { return pool_; }
+
+  /// Claims point `index`'s recorder and wires it — plus the counter
+  /// sampling interval — into `params`. No-op when sweep telemetry is off
+  /// (params keeps its null spans default, so the claim path reads no
+  /// clocks and the simulation does zero telemetry work).
+  void instrument(std::size_t index, std::string label, sim::SimParams& params) {
+    obs::SpanRecorder* recorder = pool_.claim(index, std::move(label));
+    if (recorder == nullptr) return;
+    params.spans = recorder;
+    const double ms =
+        args_.counter_interval_ms > 0.0 ? args_.counter_interval_ms : kDefaultCounterIntervalMs;
+    params.counter_interval = Ticks::from_ms(ms);
+  }
+
+  /// Validates every recording and writes the requested artifacts. Returns
+  /// false (after printing the violation to stderr) if any point's spans
+  /// are inconsistent; callers should fail the bench run in that case.
+  [[nodiscard]] bool finish() {
+    if (!pool_.enabled()) return true;
+    const std::string problem = obs::check_consistency(pool_);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "sweep span consistency check failed: %s\n", problem.c_str());
+      return false;
+    }
+    if (!args_.perfetto_sweep_path.empty()) {
+      pool_.save_merged(args_.perfetto_sweep_path);
+      std::printf("\nwrote merged sweep trace (%zu points) to %s\n", pool_.size(),
+                  args_.perfetto_sweep_path.c_str());
+    }
+    if (!args_.timeseries_path.empty()) {
+      pool_.save_counter_series(args_.timeseries_path);
+      std::printf("wrote counter time series to %s\n", args_.timeseries_path.c_str());
+    }
+    return true;
+  }
+
+ private:
+  ObsArgs args_;
+  obs::SpanRecorderPool pool_;
+};
+
+/// Single-point "--perfetto" support shared by the benches: re-runs one
+/// representative configuration with a span recorder (and counter sampling)
+/// attached, validates the recording, and writes the Chrome-trace file.
+/// `run` receives the instrumented params and must execute the simulation.
+/// Returns false on a consistency violation; no-op (true) when --perfetto
+/// was not given.
+template <typename RunFn>
+[[nodiscard]] bool write_point_trace(const ObsArgs& args, sim::SimParams params, RunFn&& run) {
+  if (args.perfetto_path.empty()) return true;
+  obs::SpanRecorder spans;
+  params.spans = &spans;
+  const double ms =
+      args.counter_interval_ms > 0.0 ? args.counter_interval_ms : kDefaultCounterIntervalMs;
+  params.counter_interval = Ticks::from_ms(ms);
+  run(static_cast<const sim::SimParams&>(params));
+  const std::string problem = obs::check_consistency(spans);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "span consistency check failed: %s\n", problem.c_str());
+    return false;
+  }
+  spans.save(args.perfetto_path);
+  std::printf("\nwrote %zu span events to %s\n", spans.size(), args.perfetto_path.c_str());
+  return true;
+}
+
+}  // namespace craysim::bench

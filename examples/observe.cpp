@@ -1,24 +1,30 @@
 // observe: the telemetry layer end to end. Runs the venus workload through
 // the whole pipeline — synthesize, trace over a lossy channel, reconstruct,
 // parse under an error budget, simulate — with every layer publishing into
-// one MetricsRegistry, the simulation recording sim-time spans, and a
-// wall-clock phase profiler timing the stages. Writes the metrics snapshot
-// (JSONL) and the span recording (Chrome trace-event JSON, loadable at
-// ui.perfetto.dev), and self-validates both before exiting.
+// one MetricsRegistry, the simulation recording sim-time spans (plus
+// periodic counter samples), and a wall-clock phase profiler timing the
+// stages. Then drives a small multi-point cache-size sweep through the
+// experiment runner with a per-point SpanRecorderPool, merging all points
+// into one Perfetto timeline and exporting the counter samples as a JSONL
+// time series. Writes all four artifacts and self-validates before exiting.
 //
 //   observe [--metrics <path>] [--perfetto <path>]
+//           [--sweep-perfetto <path>] [--timeseries <path>]
 //
-// Exits nonzero if the span recording fails its consistency check or either
+// Exits nonzero if any span recording fails its consistency check or an
 // artifact cannot be written — CI runs this as the telemetry smoke test.
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "faults/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/span.hpp"
+#include "obs/span_pool.hpp"
+#include "runner/runner.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 #include "trace/stream.hpp"
@@ -32,14 +38,22 @@ int main(int argc, char** argv) {
 
   std::string metrics_path = "observe_metrics.jsonl";
   std::string perfetto_path = "observe_trace.json";
+  std::string sweep_perfetto_path = "observe_sweep.json";
+  std::string timeseries_path = "observe_timeseries.jsonl";
   for (int i = 1; i < argc; i += 2) {
     const std::string_view flag = argv[i];
     if (flag == "--metrics" && i + 1 < argc) {
       metrics_path = argv[i + 1];
     } else if (flag == "--perfetto" && i + 1 < argc) {
       perfetto_path = argv[i + 1];
+    } else if (flag == "--sweep-perfetto" && i + 1 < argc) {
+      sweep_perfetto_path = argv[i + 1];
+    } else if (flag == "--timeseries" && i + 1 < argc) {
+      timeseries_path = argv[i + 1];
     } else {
-      std::fprintf(stderr, "usage: observe [--metrics <path>] [--perfetto <path>]\n");
+      std::fprintf(stderr,
+                   "usage: observe [--metrics <path>] [--perfetto <path>]\n"
+                   "               [--sweep-perfetto <path>] [--timeseries <path>]\n");
       return 2;
     }
   }
@@ -93,13 +107,16 @@ int main(int argc, char** argv) {
 
   // 4. Replay what survived through the simulator with the span recorder on:
   //    every run/blocked interval, I/O op lifetime, disk access, and cache
-  //    eviction lands in the recording at its simulated timestamp.
+  //    eviction lands in the recording at its simulated timestamp, and the
+  //    counter sampler adds occupancy/queue-depth tracks every 100 ms of
+  //    simulated time.
   std::printf("\n4. simulating the replay with sim-time span tracing...\n");
   sim::SimResult result;
   {
     const auto scope = phases.scope("simulate");
     sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
     params.spans = &spans;
+    params.counter_interval = Ticks::from_ms(100);
     sim::Simulator simulator(params);
     simulator.add_process("venus",
                           std::make_unique<sim::TraceReplaySource>(std::move(parsed.trace)));
@@ -108,17 +125,52 @@ int main(int argc, char** argv) {
   result.publish_metrics(registry);
   std::printf("%s", result.summary().c_str());
 
-  // 5. Validate and write both artifacts.
-  std::printf("\n5. writing telemetry artifacts...\n");
+  // 5. Sweep three cache sizes through the experiment runner, each point
+  //    recording into its own slot of a SpanRecorderPool. The merged export
+  //    shows all points side by side as labeled Perfetto process groups.
+  std::printf("\n5. sweeping cache sizes with a per-point recorder pool...\n");
+  const std::vector<Bytes> cache_mbs = {4, 16, 64};
+  obs::SpanRecorderPool sweep_pool(cache_mbs.size(), /*enabled=*/true);
+  runner::RunnerOptions sweep_options = runner::RunnerOptions::from_env();
+  sweep_options.collect_telemetry = true;
+  runner::ExperimentRunner sweep_runner(sweep_options);
+  std::vector<double> sweep_utils;
+  {
+    const auto scope = phases.scope("sweep");
+    const std::vector<std::size_t> indices = {0, 1, 2};
+    sweep_utils = sweep_runner.run(indices, [&](std::size_t i) {
+      sim::SimParams params = sim::SimParams::paper_main_memory(cache_mbs[i] * kMB);
+      params.spans = sweep_pool.claim(i, "venus, " + std::to_string(cache_mbs[i]) + " MB cache");
+      params.counter_interval = Ticks::from_ms(100);
+      sim::Simulator simulator(params);
+      simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+      return simulator.run().cpu_utilization();
+    });
+  }
+  sweep_runner.publish_metrics(registry);
+  for (std::size_t i = 0; i < cache_mbs.size(); ++i) {
+    std::printf("   %s: %.1f%% utilization, %zu span events\n", sweep_pool.label(i).c_str(),
+                100.0 * sweep_utils[i], sweep_pool.recorder(i)->size());
+  }
+
+  // 6. Validate and write all artifacts.
+  std::printf("\n6. writing telemetry artifacts...\n");
   const std::string problem = obs::check_consistency(spans);
   if (!problem.empty()) {
     std::fprintf(stderr, "span consistency check FAILED: %s\n", problem.c_str());
+    return 1;
+  }
+  const std::string sweep_problem = obs::check_consistency(sweep_pool);
+  if (!sweep_problem.empty()) {
+    std::fprintf(stderr, "sweep span consistency check FAILED: %s\n", sweep_problem.c_str());
     return 1;
   }
   phases.publish_metrics(registry);
   try {
     spans.save(perfetto_path);
     registry.save_jsonl(metrics_path);
+    sweep_pool.save_merged(sweep_perfetto_path);
+    sweep_pool.save_counter_series(timeseries_path);
   } catch (const Error& e) {
     std::fprintf(stderr, "write failed: %s\n", e.what());
     return 1;
@@ -126,9 +178,17 @@ int main(int argc, char** argv) {
   std::printf("   %zu span events -> %s (open in ui.perfetto.dev)\n", spans.size(),
               perfetto_path.c_str());
   std::printf("   %zu metrics     -> %s\n", registry.size(), metrics_path.c_str());
+  std::printf("   %zu-point merged sweep -> %s\n", sweep_pool.size(),
+              sweep_perfetto_path.c_str());
+  std::printf("   counter time series   -> %s\n", timeseries_path.c_str());
   std::printf("\nwall-clock phases:\n%s", phases.report().c_str());
 
-  const bool ok = !spans.empty() && registry.size() > 30 && result.total_wall > Ticks::zero();
+  bool sweep_recorded = true;
+  for (std::size_t i = 0; i < sweep_pool.size(); ++i) {
+    sweep_recorded &= sweep_pool.recorder(i) != nullptr && !sweep_pool.recorder(i)->empty();
+  }
+  const bool ok = !spans.empty() && registry.size() > 30 && result.total_wall > Ticks::zero() &&
+                  sweep_recorded;
   std::printf("\nobserve %s: spans consistent, metrics published, artifacts written\n",
               ok ? "PASSED" : "FAILED");
   return ok ? 0 : 1;

@@ -99,10 +99,10 @@ void SpanRecorder::async_end(std::uint32_t pid, std::uint64_t id, const char* ca
   push(std::move(e));
 }
 
-void SpanRecorder::counter(std::uint32_t pid, const char* name, Ticks t, const char* key,
+void SpanRecorder::counter(std::uint32_t pid, std::string name, Ticks t, const char* key,
                            std::int64_t value) {
   Event e;
-  e.name = name;
+  e.name = std::move(name);
   e.ph = 'C';
   e.ts = us_of(t);
   e.pid = pid;
@@ -146,43 +146,48 @@ void SpanRecorder::write_chrome_json(std::ostream& out) const {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const std::size_t i : order) {
-    const Event& e = events_[i];
     if (!first) out << ",";
     first = false;
-    out << "\n{\"name\":\"";
-    write_escaped(out, e.name);
-    out << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid;
-    if (e.ph == 'b' || e.ph == 'e') {
-      out << ",\"id\":" << e.id;
-    } else {
-      out << ",\"tid\":" << e.tid;
-    }
-    if (e.cat != nullptr) {
-      out << ",\"cat\":\"";
-      write_escaped(out, e.cat);
+    out << "\n";
+    write_event(out, events_[i]);
+  }
+  out << "\n]}\n";
+}
+
+void SpanRecorder::write_event(std::ostream& out, const Event& e, std::uint32_t pid_offset,
+                               std::uint64_t id_offset) {
+  out << "{\"name\":\"";
+  write_escaped(out, e.name);
+  out << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << (e.pid + pid_offset);
+  if (e.ph == 'b' || e.ph == 'e') {
+    out << ",\"id\":" << (e.id + id_offset);
+  } else {
+    out << ",\"tid\":" << e.tid;
+  }
+  if (e.cat != nullptr) {
+    out << ",\"cat\":\"";
+    write_escaped(out, e.cat);
+    out << "\"";
+  }
+  if (e.ph != 'M') out << ",\"ts\":" << e.ts;
+  if (e.ph == 'X') out << ",\"dur\":" << e.dur;
+  if (e.ph == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
+  if (!e.args.empty() || !e.str_arg.empty()) {
+    out << ",\"args\":{";
+    if (!e.str_arg.empty()) {
+      out << "\"name\":\"";
+      write_escaped(out, e.str_arg);
       out << "\"";
     }
-    if (e.ph != 'M') out << ",\"ts\":" << e.ts;
-    if (e.ph == 'X') out << ",\"dur\":" << e.dur;
-    if (e.ph == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
-    if (!e.args.empty() || !e.str_arg.empty()) {
-      out << ",\"args\":{";
-      if (!e.str_arg.empty()) {
-        out << "\"name\":\"";
-        write_escaped(out, e.str_arg);
-        out << "\"";
-      }
-      for (std::size_t a = 0; a < e.args.size(); ++a) {
-        if (a > 0 || !e.str_arg.empty()) out << ",";
-        out << "\"";
-        write_escaped(out, e.args[a].key);
-        out << "\":" << e.args[a].value;
-      }
-      out << "}";
+    for (std::size_t a = 0; a < e.args.size(); ++a) {
+      if (a > 0 || !e.str_arg.empty()) out << ",";
+      out << "\"";
+      write_escaped(out, e.args[a].key);
+      out << "\":" << e.args[a].value;
     }
     out << "}";
   }
-  out << "\n]}\n";
+  out << "}";
 }
 
 std::string SpanRecorder::chrome_json() const {
@@ -196,6 +201,45 @@ void SpanRecorder::save(const std::string& path) const {
   if (!out) throw Error("cannot open span file for writing: " + path);
   write_chrome_json(out);
   if (!out) throw Error("failed writing span file: " + path);
+}
+
+void write_counter_series_jsonl(const SpanRecorder& spans, std::ostream& out,
+                                std::string_view point) {
+  // Stable-sort by timestamp, like the Chrome writer: counters can be
+  // emitted slightly out of sim-time order (fs calls inside a CPU slice run
+  // ahead of the event-queue cursor), but the exported series must be
+  // nondecreasing in t_us so consumers can plot it without re-sorting.
+  std::vector<const SpanRecorder::Event*> counters;
+  for (const SpanRecorder::Event& e : spans.events()) {
+    if (e.ph == 'C') counters.push_back(&e);
+  }
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const SpanRecorder::Event* a, const SpanRecorder::Event* b) {
+                     return a->ts < b->ts;
+                   });
+  for (const SpanRecorder::Event* ep : counters) {
+    const SpanRecorder::Event& e = *ep;
+    const bool multi = e.args.size() > 1;
+    for (const SpanRecorder::Arg& a : e.args) {
+      out << "{\"point\":\"";
+      write_escaped(out, point);
+      out << "\",\"series\":\"";
+      write_escaped(out, e.name);
+      if (multi) {
+        out << ".";
+        write_escaped(out, a.key);
+      }
+      out << "\",\"t_us\":" << e.ts << ",\"value\":" << a.value << "}\n";
+    }
+  }
+}
+
+void save_counter_series(const SpanRecorder& spans, const std::string& path,
+                         std::string_view point) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open counter-series file for writing: " + path);
+  write_counter_series_jsonl(spans, out, point);
+  if (!out) throw Error("failed writing counter-series file: " + path);
 }
 
 std::string check_consistency(const SpanRecorder& spans) {

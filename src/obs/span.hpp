@@ -18,6 +18,7 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/small_vec.hpp"
@@ -76,8 +77,10 @@ class SpanRecorder {
   void async_end(std::uint32_t pid, std::uint64_t id, const char* cat, const char* name,
                  Ticks t);
 
-  /// Counter sample rendered by Perfetto as a stepped area chart.
-  void counter(std::uint32_t pid, const char* name, Ticks t, const char* key,
+  /// Counter sample rendered by Perfetto as a stepped area chart. The name
+  /// may be built at runtime (per-disk queue-depth tracks need one counter
+  /// track per device).
+  void counter(std::uint32_t pid, std::string name, Ticks t, const char* key,
                std::int64_t value);
 
   /// Track labels (metadata events; emitted first in the export).
@@ -96,11 +99,31 @@ class SpanRecorder {
   /// File variant; throws craysim::Error on I/O failure.
   void save(const std::string& path) const;
 
+  /// Serializes one event as a Chrome trace-event JSON object (no trailing
+  /// separator). `pid_offset` relocates the event into a different pid
+  /// namespace and `id_offset` re-bases async (b/e) ids — the hooks
+  /// SpanRecorderPool uses to merge many recorders into one file without
+  /// cross-point pid or async-id collisions.
+  static void write_event(std::ostream& out, const Event& event, std::uint32_t pid_offset = 0,
+                          std::uint64_t id_offset = 0);
+
  private:
   void push(Event event);
 
   std::vector<Event> events_;
 };
+
+/// Counter ("ph":"C") samples as a JSONL time series, one object per sampled
+/// value: {"point":"<label>","series":"<name>","t_us":N,"value":N}. Events
+/// are emitted in recording order, so t_us is nondecreasing per series. An
+/// event carrying several args yields one line per arg, suffixed ".<key>".
+/// This is the analysis-toolkit-facing view of the Perfetto counter tracks.
+void write_counter_series_jsonl(const SpanRecorder& spans, std::ostream& out,
+                                std::string_view point);
+/// File variant (append = false truncates); throws craysim::Error on I/O
+/// failure.
+void save_counter_series(const SpanRecorder& spans, const std::string& path,
+                         std::string_view point);
 
 /// Structural validation of a recording: B/E stack discipline per
 /// (pid, tid), b/e pairing per (cat, id), and non-negative span durations.

@@ -1,0 +1,142 @@
+#include "obs/span_pool.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace craysim::obs {
+
+SpanRecorderPool::SpanRecorderPool(std::size_t points, bool enabled)
+    : enabled_(enabled), slots_(points), labels_(points) {}
+
+SpanRecorder* SpanRecorderPool::claim(std::size_t index, std::string label) {
+  if (!enabled_) return nullptr;
+  if (index >= slots_.size()) {
+    throw Error("SpanRecorderPool::claim: index " + std::to_string(index) +
+                " out of range (pool size " + std::to_string(slots_.size()) + ")");
+  }
+  labels_[index] = std::move(label);
+  slots_[index] = std::make_unique<SpanRecorder>();
+  return slots_[index].get();
+}
+
+const SpanRecorder* SpanRecorderPool::recorder(std::size_t index) const {
+  return index < slots_.size() ? slots_[index].get() : nullptr;
+}
+
+const std::string& SpanRecorderPool::label(std::size_t index) const {
+  static const std::string kEmpty;
+  return index < labels_.size() ? labels_[index] : kEmpty;
+}
+
+void SpanRecorderPool::write_merged_chrome_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const SpanRecorder::Event& e, std::uint32_t pid_offset,
+                        std::uint64_t id_offset) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+    SpanRecorder::write_event(out, e, pid_offset, id_offset);
+  };
+
+  // Metadata first, grouped by point in sweep order: the point label
+  // prefixes every process_name, and a process_sort_index row per pid keeps
+  // Perfetto's track order equal to sweep order (Perfetto sorts process
+  // groups by sort index, then name).
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SpanRecorder* rec = slots_[i].get();
+    if (rec == nullptr) continue;
+    const std::uint32_t pid_offset = static_cast<std::uint32_t>(i) * kPidStride;
+    std::vector<std::uint32_t> named_pids;
+    for (const SpanRecorder::Event& e : rec->events()) {
+      if (e.ph != 'M') continue;
+      SpanRecorder::Event row = e;
+      if (row.name == "process_name") {
+        row.str_arg = labels_[i] + ": " + row.str_arg;
+        named_pids.push_back(row.pid);
+      }
+      emit(row, pid_offset, 0);
+    }
+    for (const std::uint32_t pid : named_pids) {
+      SpanRecorder::Event sort_row;
+      sort_row.name = "process_sort_index";
+      sort_row.ph = 'M';
+      sort_row.pid = pid;
+      sort_row.args.push_back(
+          SpanRecorder::Arg{"sort_index", static_cast<std::int64_t>(pid_offset + pid)});
+      emit(sort_row, pid_offset, 0);
+    }
+  }
+
+  // Then every timed event, globally sorted by timestamp. The sort is
+  // stable over (slot, emission) order, so same-tick events keep each
+  // recorder's E-before-B discipline.
+  struct Ref {
+    std::int64_t ts;
+    std::uint32_t slot;
+    const SpanRecorder::Event* event;
+  };
+  std::vector<Ref> refs;
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    if (slot) total += slot->size();
+  }
+  refs.reserve(total);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SpanRecorder* rec = slots_[i].get();
+    if (rec == nullptr) continue;
+    for (const SpanRecorder::Event& e : rec->events()) {
+      if (e.ph == 'M') continue;
+      refs.push_back(Ref{e.ts, static_cast<std::uint32_t>(i), &e});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) { return a.ts < b.ts; });
+  for (const Ref& r : refs) {
+    emit(*r.event, r.slot * kPidStride, static_cast<std::uint64_t>(r.slot) << kAsyncIdShift);
+  }
+  out << "\n]}\n";
+}
+
+std::string SpanRecorderPool::merged_chrome_json() const {
+  std::ostringstream out;
+  write_merged_chrome_json(out);
+  return out.str();
+}
+
+void SpanRecorderPool::save_merged(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open merged span file for writing: " + path);
+  write_merged_chrome_json(out);
+  if (!out) throw Error("failed writing merged span file: " + path);
+}
+
+void SpanRecorderPool::write_counter_series_jsonl(std::ostream& out) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]) craysim::obs::write_counter_series_jsonl(*slots_[i], out, labels_[i]);
+  }
+}
+
+void SpanRecorderPool::save_counter_series(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open counter-series file for writing: " + path);
+  write_counter_series_jsonl(out);
+  if (!out) throw Error("failed writing counter-series file: " + path);
+}
+
+std::string check_consistency(const SpanRecorderPool& pool) {
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const SpanRecorder* rec = pool.recorder(i);
+    if (rec == nullptr) continue;
+    std::string err = check_consistency(*rec);
+    if (!err.empty()) return "point '" + pool.label(i) + "': " + err;
+  }
+  return {};
+}
+
+}  // namespace craysim::obs

@@ -1,0 +1,79 @@
+// Per-sweep-point span recorder pool with a merged Perfetto export.
+//
+// `SimParams::spans` instruments one simulator; a sweep run through
+// `runner::ExperimentRunner` is N simulators. The pool pre-sizes one slot
+// per sweep point, hands each point its own `SpanRecorder` at claim time,
+// and merges all recordings into a single Chrome-trace JSON in which point
+// i's local pid p becomes `i * kPidStride + p` — so a whole policy_matrix
+// or fig8 sweep loads in Perfetto as N labeled process groups side by side.
+//
+// Thread-safety: each sweep point index is claimed by exactly one runner
+// worker (the runner's CAS ticket loop guarantees it), so concurrent
+// `claim()` calls touch distinct pre-allocated slots and need no locks. The
+// runner's completion handshake (mutex + condvar in `run()`) provides the
+// happens-before edge that makes post-run merge reads safe. Claiming reads
+// no clocks and allocates nothing when the pool is disabled.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace craysim::obs {
+
+class SpanRecorderPool {
+ public:
+  /// Pid namespace width per sweep point: local pids 1..15 (the `track::`
+  /// constants) map to `point * kPidStride + pid` in the merged file.
+  static constexpr std::uint32_t kPidStride = 16;
+
+  /// A disabled pool (the default) claims out nullptr recorders — the same
+  /// null-by-default contract as `SimParams::spans`.
+  explicit SpanRecorderPool(std::size_t points = 0, bool enabled = false);
+
+  /// Hands point `index` its recorder (allocated here, at claim time) and
+  /// records the human-readable point label used for the merged process
+  /// names and the counter-series export. Returns nullptr when the pool is
+  /// disabled. Each index must be claimed by at most one thread.
+  SpanRecorder* claim(std::size_t index, std::string label);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  /// Recorder for a claimed point; nullptr if disabled or never claimed.
+  [[nodiscard]] const SpanRecorder* recorder(std::size_t index) const;
+  [[nodiscard]] const std::string& label(std::size_t index) const;
+
+  /// Merged Chrome-trace JSON over all claimed points: per-point metadata
+  /// first (process_name prefixed with the point label, plus a synthesized
+  /// process_sort_index per pid so Perfetto groups points in sweep order),
+  /// then every timed event globally stable-sorted by timestamp. Async ids
+  /// are re-based per point (`index << kAsyncIdShift`) because IoOp ids
+  /// restart at 1 in every simulator and Chrome pairs b/e by (cat, id).
+  void write_merged_chrome_json(std::ostream& out) const;
+  [[nodiscard]] std::string merged_chrome_json() const;
+  /// File variant; throws craysim::Error on I/O failure.
+  void save_merged(const std::string& path) const;
+
+  /// Counter-series JSONL across all claimed points (see
+  /// `write_counter_series_jsonl`), point field = claim label.
+  void write_counter_series_jsonl(std::ostream& out) const;
+  void save_counter_series(const std::string& path) const;
+
+ private:
+  static constexpr std::uint32_t kAsyncIdShift = 40;
+
+  bool enabled_ = false;
+  std::vector<std::unique_ptr<SpanRecorder>> slots_;
+  std::vector<std::string> labels_;
+};
+
+/// Runs `check_consistency` over every claimed recorder; returns an empty
+/// string when all are consistent, else the first violation prefixed with
+/// the offending point's label.
+[[nodiscard]] std::string check_consistency(const SpanRecorderPool& pool);
+
+}  // namespace craysim::obs

@@ -104,6 +104,7 @@ class BufferCache {
   std::int64_t invalidate_file(std::uint32_t file);
 
   [[nodiscard]] std::int64_t dirty_block_count() const { return dirty_count_; }
+  [[nodiscard]] std::int64_t clean_block_count() const { return clean_count_; }
   [[nodiscard]] bool over_watermark() const;
   [[nodiscard]] Bytes block_size() const { return params_.block_size; }
   [[nodiscard]] std::int64_t capacity_blocks() const { return capacity_blocks_; }

@@ -111,6 +111,14 @@ struct SimParams {
   /// — the default — every instrumentation site is a single predicted
   /// branch and the simulation is bit-identical to an uninstrumented build.
   obs::SpanRecorder* spans = nullptr;
+  /// Sim-time counter sampling period. When `spans` is set and this is
+  /// nonzero, the simulator emits periodic Perfetto "C" events (cache block
+  /// occupancy, inflight ops, per-disk queue depth, cumulative read-ahead
+  /// hits/misses) every `counter_interval` of simulated time. Zero — the
+  /// default — disables sampling; with `spans` null it is ignored entirely.
+  /// The sampling handler observes state without mutating it, so results
+  /// stay bit-identical either way.
+  Ticks counter_interval = Ticks::zero();
 
   /// Named presets.
   [[nodiscard]] static SimParams paper_main_memory(Bytes cache_capacity);

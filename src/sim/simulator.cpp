@@ -83,6 +83,29 @@ void Simulator::emit_span_metadata() {
   }
 }
 
+void Simulator::emit_counter_sample(Ticks now) {
+  if (cache_) {
+    spans_->counter(obs::track::kCache, "dirty_blocks", now, "blocks",
+                    cache_->dirty_block_count());
+    spans_->counter(obs::track::kCache, "clean_blocks", now, "blocks",
+                    cache_->clean_block_count());
+    spans_->counter(obs::track::kCache, "resident_blocks", now, "blocks",
+                    cache_->resident_blocks());
+    spans_->counter(obs::track::kCache, "readahead_hit_blocks", now, "blocks",
+                    result_.cache.readahead_used_blocks);
+    spans_->counter(obs::track::kCache, "readahead_miss_blocks", now, "blocks",
+                    result_.cache.readahead_fetched_blocks - result_.cache.readahead_used_blocks);
+  }
+  spans_->counter(obs::track::kIoOps, "inflight_ops", now, "ops",
+                  static_cast<std::int64_t>(inflight_.size()));
+  disk_->sample_queue_depth_counters(now);
+}
+
+bool Simulator::drained() const {
+  return finished_ >= procs_.size() && inflight_.empty() &&
+         (!cache_ || cache_->dirty_block_count() == 0);
+}
+
 void Simulator::note_evictions(std::int64_t before, Ticks t) {
   if (spans_ && result_.cache.evictions > before) {
     spans_->instant(obs::track::kCache, 0, "evict", t,
@@ -106,6 +129,10 @@ SimResult Simulator::run() {
   }
   push_event(Ticks::zero(), EventKind::kDispatch, 0);
   push_event(params_.cache.flush_period, EventKind::kFlushTick, 0);
+  if (spans_ && params_.counter_interval > Ticks::zero()) {
+    emit_counter_sample(Ticks::zero());
+    push_event(params_.counter_interval, EventKind::kCounterTick, 0);
+  }
 
   // Safety valve against configuration bugs: no workload in this study runs
   // longer than a few simulated hours.
@@ -113,10 +140,6 @@ SimResult Simulator::run() {
 
   // Run until every process has finished AND the cache has drained its
   // dirty data (write-behind means data can outlive its writer).
-  auto drained = [this] {
-    return finished_ >= procs_.size() && inflight_.empty() &&
-           (!cache_ || cache_->dirty_block_count() == 0);
-  };
   while (!events_.empty() && !drained()) {
     std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
     const Event event = events_.back();
@@ -136,6 +159,9 @@ SimResult Simulator::run() {
         break;
       case EventKind::kFlushTick:
         on_flush_tick(now_);
+        break;
+      case EventKind::kCounterTick:
+        on_counter_tick(now_);
         break;
     }
   }
@@ -589,9 +615,15 @@ void Simulator::on_flush_tick(Ticks now) {
   if (cache_ && cache_->dirty_block_count() > 0) trigger_flush(now, age);
   // Keep ticking while the workload runs; afterwards, only until the
   // remaining dirty data has drained to disk.
-  const bool drained = finished_ >= procs_.size() &&
-                       (!cache_ || cache_->dirty_block_count() == 0) && inflight_.empty();
-  if (!drained) push_event(now + params_.cache.flush_period, EventKind::kFlushTick, 0);
+  if (!drained()) push_event(now + params_.cache.flush_period, EventKind::kFlushTick, 0);
+}
+
+void Simulator::on_counter_tick(Ticks now) {
+  // Telemetry only: samples state, mutates nothing, so the event's presence
+  // cannot change the simulation outcome (only event seq numbers shift, and
+  // (time, seq) relative order among real events is preserved).
+  emit_counter_sample(now);
+  if (!drained()) push_event(now + params_.counter_interval, EventKind::kCounterTick, 0);
 }
 
 }  // namespace craysim::sim

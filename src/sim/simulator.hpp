@@ -49,7 +49,13 @@ class Simulator {
   [[nodiscard]] SimResult run();
 
  private:
-  enum class EventKind : std::uint8_t { kDispatch, kSliceEnd, kIoDone, kFlushTick };
+  enum class EventKind : std::uint8_t {
+    kDispatch,
+    kSliceEnd,
+    kIoDone,
+    kFlushTick,
+    kCounterTick,  ///< periodic telemetry sample; never mutates sim state
+  };
   struct Event {
     Ticks time;
     std::uint64_t seq;
@@ -109,6 +115,7 @@ class Simulator {
   void on_slice_end(Ticks now, std::uint32_t pid);
   void on_io_done(Ticks now, std::uint64_t op_id);
   void on_flush_tick(Ticks now);
+  void on_counter_tick(Ticks now);
 
   void issue_io(Ticks now, std::uint32_t pid);
   void continue_running(Ticks now, std::uint32_t pid, Ticks extra_stall);
@@ -130,6 +137,13 @@ class Simulator {
   void note_evictions(std::int64_t before, Ticks t);
   /// Names the Perfetto tracks (metadata events) once per run.
   void emit_span_metadata();
+  /// One counter sample across cache occupancy, read-ahead tallies, inflight
+  /// ops, and per-disk queue depth. Read-only over sim state: inserting or
+  /// removing samples must never change the simulation outcome.
+  void emit_counter_sample(Ticks now);
+  /// All processes done, no inflight I/O, cache drained — the run() loop's
+  /// exit condition, also used to stop self-rescheduling ticks.
+  [[nodiscard]] bool drained() const;
 
   void record_disk_traffic(Ticks start, Ticks done, Bytes bytes, bool write);
   /// Appends an annotated logical record when SimParams::record_trace.

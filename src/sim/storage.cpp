@@ -164,8 +164,23 @@ Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes lengt
     }
     spans_->complete(obs::track::kDisks, tid, write ? "write" : "read", start, access,
                      {{"bytes", length}, {"file", static_cast<std::int64_t>(file)}});
+    if (pending_done_.empty()) pending_done_.resize(disks_.size());
+    pending_done_[idx].push_back(start + access);
   }
   return start + access;
+}
+
+void DiskModel::sample_queue_depth_counters(Ticks now) {
+  if (spans_ == nullptr) return;
+  if (pending_done_.empty()) pending_done_.resize(disks_.size());
+  for (std::size_t d = 0; d < pending_done_.size(); ++d) {
+    auto& pending = pending_done_[d];
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [now](Ticks done) { return done <= now; }),
+                  pending.end());
+    spans_->counter(obs::track::kDisks, "queue_depth.disk" + std::to_string(d), now, "ops",
+                    static_cast<std::int64_t>(pending.size()));
+  }
 }
 
 }  // namespace craysim::sim

@@ -46,6 +46,12 @@ class DiskModel {
   /// disk index). Null (the default) disables emission entirely.
   void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
 
+  /// Emits one `queue_depth.disk<N>` counter sample per disk at `now`
+  /// (transfers submitted but not yet complete). Tracking of outstanding
+  /// completion times only happens while a span sink is attached, so the
+  /// telemetry-off path pays nothing; with no sink this is a no-op.
+  void sample_queue_depth_counters(Ticks now);
+
   [[nodiscard]] const DeviceMetrics& metrics() const { return metrics_; }
   /// Devices still accepting I/O (== disk_count until a permanent failure).
   [[nodiscard]] std::int32_t online_disks() const { return online_count_; }
@@ -91,6 +97,10 @@ class DiskModel {
   std::optional<faults::FaultInjector> injector_;
   std::int32_t online_count_ = 0;
   obs::SpanRecorder* spans_ = nullptr;  ///< non-owning; null = no telemetry
+  /// Outstanding completion times per disk, kept only while spans_ is set
+  /// (counter sampling needs instantaneous queue depth; the model itself
+  /// never looks back at completed transfers).
+  std::vector<std::vector<Ticks>> pending_done_;
 };
 
 }  // namespace craysim::sim

@@ -1,0 +1,226 @@
+// SpanRecorderPool tests: pid/async-id re-basing in the merged export,
+// label-prefixed process metadata and sweep-order sort indices, the
+// disabled-pool null contract, the counter-series JSONL schema, and the
+// pooled-telemetry identity pin — a multi-threaded instrumented sweep must
+// produce bit-identical simulation results to a serial untelemetered one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_pool.hpp"
+#include "runner/runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/digest.hpp"
+#include "util/error.hpp"
+#include "workload/profiles.hpp"
+
+namespace craysim::obs {
+namespace {
+
+/// Digest of every integer-valued observable of a simulation result (same
+/// fields as runner_test's pin; floats are all derived from these).
+std::uint64_t digest_result(const sim::SimResult& r) {
+  util::Fnv1a d;
+  d.add(r.total_wall.count());
+  d.add(r.cpu_busy.count());
+  d.add(r.cpu_idle.count());
+  d.add(r.overhead_time.count());
+  d.add(r.cache.read_requests);
+  d.add(r.cache.read_full_hits);
+  d.add(r.cache.read_partial_hits);
+  d.add(r.cache.read_misses);
+  d.add(r.cache.write_requests);
+  d.add(r.cache.write_absorbed);
+  d.add(r.cache.readahead_issued);
+  d.add(r.cache.readahead_used_blocks);
+  d.add(r.cache.readahead_fetched_blocks);
+  d.add(r.cache.evictions);
+  d.add(r.cache.space_waits);
+  d.add(r.cache.writes_cancelled_blocks);
+  d.add(r.disk.read_ops);
+  d.add(r.disk.write_ops);
+  d.add(r.disk.bytes_read);
+  d.add(r.disk.bytes_written);
+  d.add(r.disk.busy_time.count());
+  d.add(r.disk.queue_wait_time.count());
+  for (const auto& proc : r.processes) {
+    d.add(proc.pid);
+    d.add(proc.finish_time.count());
+    d.add(proc.cpu_time.count());
+    d.add(proc.blocked_time.count());
+    d.add(proc.io_count);
+    d.add(proc.bytes_read);
+    d.add(proc.bytes_written);
+  }
+  return d.value();
+}
+
+TEST(SpanRecorderPool, DisabledPoolClaimsNullAndStaysEmpty) {
+  SpanRecorderPool pool(3, /*enabled=*/false);
+  EXPECT_FALSE(pool.enabled());
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.claim(0, "a"), nullptr);
+  EXPECT_EQ(pool.claim(2, "b"), nullptr);
+  EXPECT_EQ(pool.recorder(0), nullptr);
+  EXPECT_EQ(pool.label(0), "");
+  EXPECT_TRUE(check_consistency(pool).empty());
+  // The merged export of an empty pool is still a valid trace skeleton.
+  const std::string json = pool.merged_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(SpanRecorderPool, ClaimOutOfRangeThrows) {
+  SpanRecorderPool pool(2, /*enabled=*/true);
+  EXPECT_THROW((void)pool.claim(2, "overflow"), Error);
+}
+
+TEST(SpanRecorderPool, MergeRebasesPidsAndPrefixesLabels) {
+  SpanRecorderPool pool(2, /*enabled=*/true);
+  SpanRecorder* a = pool.claim(0, "point A");
+  SpanRecorder* b = pool.claim(1, "point B");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.label(0), "point A");
+  EXPECT_EQ(pool.label(1), "point B");
+
+  a->name_process(1, "procs");
+  a->begin(1, 7, "run", Ticks{100});
+  a->end(1, 7, "run", Ticks{200});
+  b->name_process(1, "procs");
+  b->instant(4, 0, "evict", Ticks{50});
+
+  EXPECT_TRUE(check_consistency(pool).empty());
+  const std::string json = pool.merged_chrome_json();
+
+  // Point 0 keeps local pids; point 1 is shifted by kPidStride.
+  EXPECT_NE(json.find("{\"name\":\"run\",\"ph\":\"B\",\"pid\":1,"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"evict\",\"ph\":\"i\",\"pid\":20,"), std::string::npos);
+  // Process names carry the point label so the Perfetto tracks read
+  // "point A: procs" / "point B: procs".
+  EXPECT_NE(json.find("\"args\":{\"name\":\"point A: procs\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"point B: procs\"}"), std::string::npos);
+  // Each named pid gets a sweep-order sort index.
+  EXPECT_NE(json.find("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                      "\"args\":{\"sort_index\":1}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":17,\"tid\":0,"
+                      "\"args\":{\"sort_index\":17}}"),
+            std::string::npos);
+  // Timed events are globally sorted: point B's ts=500us instant precedes
+  // point A's ts=1000us begin even though point A was claimed first.
+  EXPECT_LT(json.find("\"name\":\"evict\""), json.find("\"name\":\"run\""));
+}
+
+TEST(SpanRecorderPool, MergeRebasesAsyncIdsPerPoint) {
+  SpanRecorderPool pool(2, /*enabled=*/true);
+  SpanRecorder* a = pool.claim(0, "A");
+  SpanRecorder* b = pool.claim(1, "B");
+  // Both points use async id 1 — exactly what two simulators do, since IoOp
+  // ids restart at 1 in each. The merge must keep the pairs distinct.
+  a->async_begin(3, 1, "io", "op", Ticks{10});
+  a->async_end(3, 1, "io", "op", Ticks{20});
+  b->async_begin(3, 1, "io", "op", Ticks{10});
+  b->async_end(3, 1, "io", "op", Ticks{20});
+
+  const std::string json = pool.merged_chrome_json();
+  EXPECT_NE(json.find("\"pid\":3,\"id\":1,"), std::string::npos);
+  const std::uint64_t rebased = std::uint64_t{1} | (std::uint64_t{1} << 40);
+  EXPECT_NE(json.find("\"pid\":19,\"id\":" + std::to_string(rebased) + ","),
+            std::string::npos);
+}
+
+TEST(SpanRecorderPool, ConsistencyCheckNamesTheOffendingPoint) {
+  SpanRecorderPool pool(2, /*enabled=*/true);
+  (void)pool.claim(0, "good point");
+  SpanRecorder* bad = pool.claim(1, "bad point");
+  bad->begin(1, 1, "never closed", Ticks{10});
+  const std::string problem = check_consistency(pool);
+  EXPECT_NE(problem.find("bad point"), std::string::npos);
+  EXPECT_NE(problem.find("unclosed"), std::string::npos);
+}
+
+TEST(SpanRecorderPool, CounterSeriesJsonlCarriesPointLabels) {
+  SpanRecorderPool pool(2, /*enabled=*/true);
+  SpanRecorder* a = pool.claim(0, "small");
+  SpanRecorder* b = pool.claim(1, "large");
+  a->counter(4, "dirty_blocks", Ticks{10}, "blocks", 3);
+  a->counter(4, "dirty_blocks", Ticks{20}, "blocks", 5);
+  b->counter(2, "queue_depth.disk0", Ticks{10}, "ops", 1);
+  b->instant(1, 0, "not a counter", Ticks{15});
+
+  std::string jsonl;
+  {
+    std::ostringstream out;
+    pool.write_counter_series_jsonl(out);
+    jsonl = out.str();
+  }
+  EXPECT_EQ(jsonl,
+            "{\"point\":\"small\",\"series\":\"dirty_blocks\",\"t_us\":100,\"value\":3}\n"
+            "{\"point\":\"small\",\"series\":\"dirty_blocks\",\"t_us\":200,\"value\":5}\n"
+            "{\"point\":\"large\",\"series\":\"queue_depth.disk0\",\"t_us\":100,\"value\":1}\n");
+}
+
+/// A small but real sweep: venus at three cache sizes. Used both for the
+/// identity pin and the merged-structure assertions below.
+sim::SimResult run_sweep_point(Bytes cache_mb, SpanRecorder* spans) {
+  sim::SimParams params = sim::SimParams::paper_main_memory(cache_mb * kMB);
+  params.spans = spans;
+  if (spans != nullptr) params.counter_interval = Ticks::from_ms(100);
+  sim::Simulator simulator(params);
+  simulator.add_app(workload::make_profile(workload::AppId::kVenus, 11));
+  return simulator.run();
+}
+
+TEST(SpanRecorderPool, PooledParallelSweepIsBitIdenticalToSerialUntelemetered) {
+  const std::vector<Bytes> sizes = {4, 8, 16};
+
+  // Baseline: serial, no telemetry anywhere.
+  std::vector<std::uint64_t> expected;
+  expected.reserve(sizes.size());
+  for (const Bytes mb : sizes) expected.push_back(digest_result(run_sweep_point(mb, nullptr)));
+
+  // Pooled: every point instrumented (spans + counter sampling), run through
+  // the multi-threaded experiment runner.
+  SpanRecorderPool pool(sizes.size(), /*enabled=*/true);
+  runner::ExperimentRunner parallel(runner::RunnerOptions{.threads = 3});
+  const auto actual = parallel.run(sizes, [&](Bytes mb) {
+    std::size_t index = 0;
+    while (sizes[index] != mb) ++index;
+    SpanRecorder* spans = pool.claim(index, std::to_string(mb) + " MB");
+    return digest_result(run_sweep_point(mb, spans));
+  });
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "sweep point " << i << " diverged under telemetry";
+  }
+
+  // Every point recorded, consistently, with counter samples present.
+  EXPECT_TRUE(check_consistency(pool).empty());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_NE(pool.recorder(i), nullptr);
+    EXPECT_FALSE(pool.recorder(i)->empty());
+    bool saw_counter = false;
+    for (const auto& e : pool.recorder(i)->events()) saw_counter |= e.ph == 'C';
+    EXPECT_TRUE(saw_counter) << "point " << i << " has no counter samples";
+  }
+
+  // The merged export covers at least the three process tracks (one per
+  // point), each with a labeled pid namespace.
+  const std::string json = pool.merged_chrome_json();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::string pid =
+        std::to_string(i * SpanRecorderPool::kPidStride + 1);
+    EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":" + pid + ","), std::string::npos)
+        << "point " << i << " has no metadata for its process track";
+  }
+}
+
+}  // namespace
+}  // namespace craysim::obs

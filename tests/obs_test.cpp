@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,38 @@ TEST(MetricsRegistry, HistogramSummaryIsExact) {
   EXPECT_DOUBLE_EQ(s.p99, 99.0);
 }
 
+TEST(MetricsRegistry, HistogramEdgeCases) {
+  MetricsRegistry registry;
+  // Empty: summarize() must not touch the (absent) samples.
+  const Histogram::Summary empty = registry.histogram("none").summarize();
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  // One sample: every statistic collapses onto it.
+  Histogram& one = registry.histogram("one");
+  one.record(42.5);
+  const Histogram::Summary s1 = one.summarize();
+  EXPECT_EQ(s1.count, 1);
+  EXPECT_DOUBLE_EQ(s1.min, 42.5);
+  EXPECT_DOUBLE_EQ(s1.max, 42.5);
+  EXPECT_DOUBLE_EQ(s1.mean, 42.5);
+  EXPECT_DOUBLE_EQ(s1.p50, 42.5);
+  EXPECT_DOUBLE_EQ(s1.p90, 42.5);
+  EXPECT_DOUBLE_EQ(s1.p99, 42.5);
+
+  // All-equal samples: percentiles must not interpolate away from the value.
+  Histogram& flat = registry.histogram("flat");
+  for (int i = 0; i < 1000; ++i) flat.record(7.0);
+  const Histogram::Summary sf = flat.summarize();
+  EXPECT_EQ(sf.count, 1000);
+  EXPECT_DOUBLE_EQ(sf.mean, 7.0);
+  EXPECT_DOUBLE_EQ(sf.p50, 7.0);
+  EXPECT_DOUBLE_EQ(sf.p99, 7.0);
+}
+
 TEST(PhaseProfiler, ScopesAccumulateByName) {
   PhaseProfiler phases;
   { const auto s = phases.scope("work"); }
@@ -118,6 +152,34 @@ TEST(SpanRecorder, ChromeJsonStructure) {
   EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
                       "\"args\":{\"name\":\"procs\"}}"),
             std::string::npos);
+}
+
+TEST(SpanRecorder, EmptyAndMetadataOnlyTracesAreValidJson) {
+  // A recorder that never saw an event still exports a loadable skeleton
+  // (no trailing comma, both top-level fields present).
+  SpanRecorder empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(check_consistency(empty).empty());
+  EXPECT_EQ(empty.chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+
+  // Metadata-only (a simulation with zero I/O): exactly one M row, still no
+  // trailing comma.
+  SpanRecorder meta;
+  meta.name_process(1, "procs");
+  const std::string json = meta.chrome_json();
+  EXPECT_EQ(json.find("\"ph\":\"M\""), json.rfind("\"ph\":\"M\""));
+  EXPECT_NE(json.find("\"args\":{\"name\":\"procs\"}}\n]}"), std::string::npos);
+}
+
+TEST(SpanRecorder, ZeroDurationSpanSurvivesConsistencyAndExport) {
+  SpanRecorder spans;
+  spans.begin(1, 1, "blip", Ticks{100});
+  spans.end(1, 1, "blip", Ticks{100});
+  spans.complete(2, 0, "flat", Ticks{50}, Ticks::zero());
+  EXPECT_TRUE(check_consistency(spans).empty());
+  const std::string json = spans.chrome_json();
+  EXPECT_NE(json.find("\"dur\":0"), std::string::npos);
 }
 
 TEST(SpanRecorder, WriterSortsByTimestamp) {
@@ -217,6 +279,68 @@ TEST(SimulatorSpans, TelemetryDoesNotChangeResults) {
   EXPECT_EQ(off.cache.evictions, on.cache.evictions);
   EXPECT_EQ(off.disk.read_ops, on.disk.read_ops);
   EXPECT_FALSE(spans.empty());
+}
+
+TEST(SimulatorSpans, CounterSamplingDoesNotChangeResults) {
+  const auto run_once = [](SpanRecorder* spans, Ticks interval) {
+    sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
+    params.spans = spans;
+    params.counter_interval = interval;
+    sim::Simulator simulator(params);
+    simulator.add_app(workload::make_profile(workload::AppId::kVenus));
+    return simulator.run();
+  };
+  const sim::SimResult off = run_once(nullptr, Ticks::zero());
+  // counter_interval without a recorder attached must also be inert.
+  const sim::SimResult orphan = run_once(nullptr, Ticks::from_ms(50));
+  SpanRecorder spans;
+  const sim::SimResult on = run_once(&spans, Ticks::from_ms(50));
+
+  EXPECT_EQ(off.summary(), orphan.summary());
+  EXPECT_EQ(off.summary(), on.summary());
+  EXPECT_EQ(off.total_wall, on.total_wall);
+  EXPECT_EQ(off.cache.evictions, on.cache.evictions);
+  EXPECT_EQ(off.disk.read_ops, on.disk.read_ops);
+
+  // The sampler actually produced the promised tracks: cache occupancy,
+  // read-ahead tallies, inflight ops, and per-disk queue depth.
+  EXPECT_TRUE(check_consistency(spans).empty());
+  bool saw_dirty = false;
+  bool saw_readahead = false;
+  bool saw_inflight = false;
+  bool saw_queue = false;
+  for (const auto& e : spans.events()) {
+    if (e.ph != 'C') continue;
+    saw_dirty |= e.name == "dirty_blocks";
+    saw_readahead |= e.name == "readahead_hit_blocks";
+    saw_inflight |= e.name == "inflight_ops";
+    saw_queue |= e.name.rfind("queue_depth.disk", 0) == 0;
+  }
+  EXPECT_TRUE(saw_dirty);
+  EXPECT_TRUE(saw_readahead);
+  EXPECT_TRUE(saw_inflight);
+  EXPECT_TRUE(saw_queue);
+
+  // The JSONL export is sorted: t_us never decreases within any series.
+  std::ostringstream series;
+  write_counter_series_jsonl(spans, series, "p");
+  std::map<std::string, std::int64_t> last_ts;
+  std::istringstream lines(series.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t name_pos = line.find("\"series\":\"") + 10;
+    const std::string name = line.substr(name_pos, line.find('"', name_pos) - name_pos);
+    const std::size_t ts_pos = line.find("\"t_us\":") + 7;
+    const std::int64_t ts = std::strtoll(line.c_str() + ts_pos, nullptr, 10);
+    auto [it, fresh] = last_ts.try_emplace(name, ts);
+    if (!fresh) {
+      ASSERT_GE(ts, it->second) << "series " << name << " goes backwards";
+      it->second = ts;
+    }
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 100u);
 }
 
 TEST(SimResultMetrics, PublishCoversCacheAndDisk) {

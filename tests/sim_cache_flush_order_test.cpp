@@ -1,0 +1,196 @@
+// Regression tests pinning the order in which collect_flush_batch walks the
+// dirty set. Today dirty blocks live in a std::set keyed by
+// (file << 32 | block), so batches come out in ascending key order and
+// adjacent keys coalesce into contiguous runs. The planned intrusive
+// dirty-LRU rewrite (see ROADMAP) must preserve exactly this observable
+// behaviour; these tests are the tripwire.
+//
+// Same two layers of defence as sim_cache_lru_test: explicit scripted
+// scenarios asserting the exact runs returned, plus a pseudo-random
+// write/flush script whose complete flush-plan output is digested against a
+// constant captured from the current implementation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "util/digest.hpp"
+
+namespace craysim::sim {
+namespace {
+
+CacheParams flush_cache(std::int64_t blocks) {
+  CacheParams params;
+  params.block_size = 4 * kKiB;
+  params.capacity = blocks * params.block_size;
+  params.read_ahead = false;
+  params.write_behind = true;
+  return params;
+}
+
+/// Dirties exactly `count` blocks of `file` starting at `block` via an
+/// absorbed write-behind write.
+void dirty_blocks(BufferCache& cache, std::uint32_t file, std::int64_t block,
+                  std::int64_t count, std::uint64_t op, Ticks now = Ticks::zero()) {
+  const auto plan = cache.plan_write(1, file, block * cache.block_size(),
+                                     count * cache.block_size(), op,
+                                     /*write_behind=*/true, now);
+  ASSERT_TRUE(plan.absorbed);
+  ASSERT_FALSE(plan.space_wait);
+}
+
+TEST(CacheFlushOrderTest, BatchesWalkKeysAscendingAndCoalesceRuns) {
+  CacheMetrics metrics;
+  BufferCache cache(flush_cache(32), metrics);
+
+  // Dirty in scrambled order: file 2 first, then two separated extents of
+  // file 1. The walk must come back sorted by (file, block), not by dirty
+  // time: file 1 blocks 3..5, file 1 blocks 9..10, then file 2 blocks 0..1.
+  dirty_blocks(cache, 2, 0, 2, 1);
+  dirty_blocks(cache, 1, 9, 2, 2);
+  dirty_blocks(cache, 1, 3, 3, 3);
+  EXPECT_EQ(cache.dirty_block_count(), 7);
+
+  const auto runs = cache.collect_flush_batch(100);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (BlockRun{1, 3, 3}));
+  EXPECT_EQ(runs[1], (BlockRun{1, 9, 2}));
+  EXPECT_EQ(runs[2], (BlockRun{2, 0, 2}));
+  EXPECT_EQ(cache.dirty_block_count(), 0);  // all marked Flushing
+}
+
+TEST(CacheFlushOrderTest, MaxBlocksTakesAPrefixOfTheKeyOrder) {
+  CacheMetrics metrics;
+  BufferCache cache(flush_cache(32), metrics);
+  dirty_blocks(cache, 1, 0, 6, 1);
+
+  // A capped batch takes the lowest keys first and leaves the rest dirty.
+  const auto first = cache.collect_flush_batch(4);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], (BlockRun{1, 0, 4}));
+  EXPECT_EQ(cache.dirty_block_count(), 2);
+
+  const auto rest = cache.collect_flush_batch(100);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], (BlockRun{1, 4, 2}));
+  EXPECT_EQ(cache.dirty_block_count(), 0);
+}
+
+TEST(CacheFlushOrderTest, MaxRunBlocksSplitsContiguousExtents) {
+  CacheMetrics metrics;
+  BufferCache cache(flush_cache(32), metrics);
+  dirty_blocks(cache, 1, 0, 7, 1);
+
+  const auto runs = cache.collect_flush_batch(100, /*max_run_blocks=*/3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (BlockRun{1, 0, 3}));
+  EXPECT_EQ(runs[1], (BlockRun{1, 3, 3}));
+  EXPECT_EQ(runs[2], (BlockRun{1, 6, 1}));
+}
+
+TEST(CacheFlushOrderTest, MinAgeSkipsYoungBlocksButKeepsKeyOrder) {
+  CacheMetrics metrics;
+  BufferCache cache(flush_cache(32), metrics);
+
+  // Old extent at high keys, young extent at low keys.
+  dirty_blocks(cache, 1, 10, 2, 1, Ticks{100});
+  dirty_blocks(cache, 1, 0, 2, 2, Ticks{900});
+
+  // At now=1000 with min_age=500, only the blocks dirtied at t=100 qualify;
+  // the young low-key blocks are skipped, not reordered.
+  const auto old_only = cache.collect_flush_batch(100, 0, Ticks{1000}, Ticks{500});
+  ASSERT_EQ(old_only.size(), 1u);
+  EXPECT_EQ(old_only[0], (BlockRun{1, 10, 2}));
+  EXPECT_EQ(cache.dirty_block_count(), 2);
+
+  // min_age == 0 forces everything out regardless of age.
+  const auto forced = cache.collect_flush_batch(100, 0, Ticks{1000}, Ticks::zero());
+  ASSERT_EQ(forced.size(), 1u);
+  EXPECT_EQ(forced[0], (BlockRun{1, 0, 2}));
+}
+
+TEST(CacheFlushOrderTest, RedirtiedWhileFlushingComesBackInKeyOrder) {
+  CacheMetrics metrics;
+  BufferCache cache(flush_cache(32), metrics);
+  dirty_blocks(cache, 1, 0, 3, 1);
+  const auto runs = cache.collect_flush_batch(100);
+  ASSERT_EQ(runs.size(), 1u);
+
+  // Re-dirty the middle block while its flush is in flight, then complete
+  // the flush: exactly that block must be dirty again and flush next.
+  dirty_blocks(cache, 1, 1, 1, 2);
+  cache.flush_complete(runs[0]);
+  EXPECT_EQ(cache.dirty_block_count(), 1);
+  const auto again = cache.collect_flush_batch(100);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], (BlockRun{1, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Recorded-script digest: a 4000-step pseudo-random write/flush/complete
+// script whose entire flush-plan output (run order, shapes, dirty counts) is
+// digested. The constant was captured from the current std::set walk; any
+// reordering in a dirty-tracking rewrite changes it.
+// ---------------------------------------------------------------------------
+
+TEST(CacheFlushOrderTest, RecordedFlushScriptDigestMatchesCurrentWalk) {
+  CacheParams params = flush_cache(64);
+  params.per_process_cap = 0;
+  CacheMetrics metrics;
+  BufferCache cache(params, metrics);
+
+  util::Fnv1a digest;
+  std::uint64_t rng = 0x243f6a8885a308d3ull;
+  auto next = [&rng](std::uint64_t bound) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % bound;
+  };
+
+  std::uint64_t op = 1;
+  std::vector<BlockRun> in_flight;
+  Ticks now = Ticks::zero();
+
+  for (int step = 0; step < 4000; ++step) {
+    now += Ticks(static_cast<std::int64_t>(next(40)) + 1);
+    const std::uint64_t kind = next(8);
+    if (kind < 4) {
+      const auto file = static_cast<std::uint32_t>(1 + next(3));
+      const Bytes offset = static_cast<Bytes>(next(48)) * params.block_size;
+      const Bytes length = (static_cast<Bytes>(next(4)) + 1) * params.block_size;
+      const auto plan = cache.plan_write(1, file, offset, length, op++,
+                                         /*write_behind=*/true, now);
+      digest.add<std::uint8_t>((plan.space_wait ? 1 : 0) | (plan.absorbed ? 2 : 0));
+    } else if (kind < 6) {
+      const auto runs = cache.collect_flush_batch(static_cast<std::int64_t>(next(16)) + 1,
+                                                  static_cast<std::int64_t>(next(6)), now,
+                                                  Ticks(static_cast<std::int64_t>(next(80))));
+      digest.add(static_cast<std::int64_t>(runs.size()));
+      for (const auto& r : runs) {
+        digest.add(r.file);
+        digest.add(r.first_block);
+        digest.add(r.count);
+        in_flight.push_back(r);
+      }
+    } else if (kind == 6) {
+      for (int i = 0; i < 2 && !in_flight.empty(); ++i) {
+        cache.flush_complete(in_flight.front());
+        in_flight.erase(in_flight.begin());
+      }
+    } else {
+      digest.add(cache.invalidate_file(static_cast<std::uint32_t>(1 + next(3))));
+    }
+    digest.add(cache.dirty_block_count());
+    digest.add(cache.clean_block_count());
+  }
+  digest.add(metrics.write_requests);
+  digest.add(metrics.write_absorbed);
+  digest.add(metrics.space_waits);
+  digest.add(metrics.writes_cancelled_blocks);
+
+  EXPECT_EQ(digest.value(), 0x6e18c00814bea048ull)
+      << "flush-batch walk diverged from the recorded std::set order";
+}
+
+}  // namespace
+}  // namespace craysim::sim

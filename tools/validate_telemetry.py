@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Validate craysim telemetry artifacts: Perfetto JSON and metrics JSONL.
+"""Validate craysim telemetry artifacts: Perfetto JSON, metrics JSONL, and
+counter time-series JSONL.
 
 Usage:
     tools/validate_telemetry.py --perfetto trace.json --metrics metrics.jsonl
+    tools/validate_telemetry.py --perfetto sweep.json --min-processes 3 \
+        --timeseries series.jsonl
 
 Checks (any failure exits nonzero, printing what broke):
-  Perfetto (Chrome trace-event JSON):
+  Perfetto (Chrome trace-event JSON), including SpanRecorderPool merges
+  where every sweep point owns a disjoint pid namespace:
     * file parses, has a "traceEvents" list with at least one event
     * timestamps are monotonically nondecreasing in file order
-    * B/E events balance with stack discipline per (pid, tid)
-    * async b/e events balance per (cat, id)
+    * B/E events balance with stack discipline per (pid, tid) — a pid
+      namespace can never close a span another namespace opened
+    * async b/e events balance per (pid, cat, id)
     * X events have nonnegative durations; i events carry a scope
+    * C events carry a non-empty args object of numeric counter values
+    * every pid that emits a timed event has process_name metadata
+    * with --min-processes N, at least N distinct pids emit timed events
   Metrics JSONL:
     * every line is a standalone JSON object with "metric" and "type"
     * lines are sorted by metric name with no duplicates
@@ -18,8 +26,12 @@ Checks (any failure exits nonzero, printing what broke):
       count/min/max/mean/p50/p90/p99 summary
     * when --require is given, each listed metric name (or "prefix.*"
       pattern) must be present
+  Counter time series JSONL (--timeseries):
+    * every line is {"point": str, "series": str, "t_us": int, "value": num}
+    * within each (point, series) pair, t_us is nondecreasing
 
-CI's telemetry smoke job runs this over examples/observe's output.
+CI's telemetry smoke job runs this over examples/observe's output, including
+the merged multi-point sweep trace.
 """
 
 import argparse
@@ -32,7 +44,7 @@ def fail(message):
     sys.exit(1)
 
 
-def validate_perfetto(path):
+def validate_perfetto(path, min_processes=0):
     with open(path) as f:
         try:
             data = json.load(f)
@@ -43,11 +55,16 @@ def validate_perfetto(path):
         fail(f"{path}: missing or empty traceEvents array")
 
     stacks = {}       # (pid, tid) -> [names] for B/E
-    open_async = {}   # (cat, id) -> open count for b/e
+    open_async = {}   # (pid, cat, id) -> open count for b/e
+    named_pids = set()  # pids with process_name metadata
+    timed_pids = set()  # pids that emitted a non-metadata event
+    counters = 0
     last_ts = None
     for i, e in enumerate(events):
         ph = e.get("ph")
         if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e.get("pid"))
             continue
         ts = e.get("ts")
         if not isinstance(ts, (int, float)):
@@ -55,6 +72,7 @@ def validate_perfetto(path):
         if last_ts is not None and ts < last_ts:
             fail(f"{path}: event {i} ts {ts} goes backwards (previous {last_ts})")
         last_ts = ts
+        timed_pids.add(e.get("pid"))
         if ph == "B":
             stacks.setdefault((e.get("pid"), e.get("tid")), []).append(e.get("name"))
         elif ph == "E":
@@ -65,10 +83,10 @@ def validate_perfetto(path):
             if top != e.get("name"):
                 fail(f"{path}: event {i} E '{e.get('name')}' closes '{top}'")
         elif ph == "b":
-            key = (e.get("cat"), e.get("id"))
+            key = (e.get("pid"), e.get("cat"), e.get("id"))
             open_async[key] = open_async.get(key, 0) + 1
         elif ph == "e":
-            key = (e.get("cat"), e.get("id"))
+            key = (e.get("pid"), e.get("cat"), e.get("id"))
             if open_async.get(key, 0) <= 0:
                 fail(f"{path}: event {i} async end without begin: {key}")
             open_async[key] -= 1
@@ -78,13 +96,29 @@ def validate_perfetto(path):
         elif ph == "i":
             if "s" not in e:
                 fail(f"{path}: event {i} instant without scope")
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{path}: event {i} counter '{e.get('name')}' without args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    fail(f"{path}: event {i} counter '{e.get('name')}' "
+                         f"arg '{key}' is not numeric")
+            counters += 1
     for key, stack in stacks.items():
         if stack:
             fail(f"{path}: unclosed span '{stack[-1]}' on track {key}")
     for key, count in open_async.items():
         if count != 0:
             fail(f"{path}: unclosed async span {key}")
-    print(f"{path}: OK ({len(events)} events, monotonic, balanced)")
+    unnamed = timed_pids - named_pids
+    if unnamed:
+        fail(f"{path}: pids without process_name metadata: {sorted(unnamed)}")
+    if min_processes and len(timed_pids) < min_processes:
+        fail(f"{path}: only {len(timed_pids)} pid tracks, "
+             f"need at least {min_processes}")
+    print(f"{path}: OK ({len(events)} events, {len(timed_pids)} pid tracks, "
+          f"{counters} counter samples, monotonic, balanced)")
 
 
 HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "p50", "p90", "p99")
@@ -136,10 +170,53 @@ def validate_metrics(path, required):
     print(f"{path}: OK ({len(names)} metrics, sorted, schema valid)")
 
 
+def validate_timeseries(path):
+    last = {}  # (point, series) -> last t_us
+    lines = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+            point = obj.get("point")
+            series = obj.get("series")
+            t_us = obj.get("t_us")
+            value = obj.get("value")
+            if not isinstance(point, str) or not point:
+                fail(f"{path}:{lineno}: missing point label")
+            if not isinstance(series, str) or not series:
+                fail(f"{path}:{lineno}: missing series name")
+            if not isinstance(t_us, int):
+                fail(f"{path}:{lineno}: t_us is not an integer")
+            if not isinstance(value, (int, float)):
+                fail(f"{path}:{lineno}: value is not numeric")
+            key = (point, series)
+            if key in last and t_us < last[key]:
+                fail(f"{path}:{lineno}: series {key} goes backwards "
+                     f"({t_us} after {last[key]})")
+            last[key] = t_us
+            lines += 1
+    if not lines:
+        fail(f"{path}: no samples")
+    print(f"{path}: OK ({lines} samples, {len(last)} series, "
+          f"nondecreasing per series)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--perfetto", help="Chrome trace-event JSON file")
     parser.add_argument("--metrics", help="metrics snapshot JSONL file")
+    parser.add_argument("--timeseries", help="counter time-series JSONL file")
+    parser.add_argument(
+        "--min-processes",
+        type=int,
+        default=0,
+        help="minimum number of distinct pid tracks the Perfetto file must have",
+    )
     parser.add_argument(
         "--require",
         action="append",
@@ -147,12 +224,15 @@ def main():
         help="metric name (or 'prefix.*') that must be present; repeatable",
     )
     args = parser.parse_args()
-    if not args.perfetto and not args.metrics:
-        parser.error("nothing to validate: pass --perfetto and/or --metrics")
+    if not args.perfetto and not args.metrics and not args.timeseries:
+        parser.error(
+            "nothing to validate: pass --perfetto, --metrics, and/or --timeseries")
     if args.perfetto:
-        validate_perfetto(args.perfetto)
+        validate_perfetto(args.perfetto, args.min_processes)
     if args.metrics:
         validate_metrics(args.metrics, args.require)
+    if args.timeseries:
+        validate_timeseries(args.timeseries)
 
 
 if __name__ == "__main__":
