@@ -44,6 +44,7 @@ craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   bench::heading("Ablation: disk queueing (2 x venus, 32 MB main-memory cache)");
 
   const std::vector<Config> configs = {
@@ -54,15 +55,17 @@ int main(int argc, char** argv) {
   };
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  bench::apply_resilience(res_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, configs.size());
   std::vector<std::size_t> indices(configs.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
-  const auto results = pool.run(indices, [&](std::size_t i) {
+  const bench::SimResultCodec codec([&](std::size_t i) { return configs[i].name; });
+  const auto results = bench::run_sweep(pool, res_args, indices, [&](std::size_t i) {
     sim::SimParams params = config_params(configs[i]);
     sweep_obs.instrument(i, configs[i].name, params);
     return run_with(params);
-  });
+  }, codec);
 
   TextTable table({"configuration", "wall s", "idle s", "util %", "disk queue wait s"});
   double wall_paper = 0;

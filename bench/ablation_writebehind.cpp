@@ -48,6 +48,7 @@ std::string point_label(const PolicyPoint& point) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   bench::heading("Ablation: write-behind and read-ahead (2 x venus, 128 MB cache)");
 
   std::vector<PolicyPoint> points;
@@ -56,15 +57,17 @@ int main(int argc, char** argv) {
   }
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  bench::apply_resilience(res_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, points.size());
   std::vector<std::size_t> indices(points.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
-  const auto results = pool.run(indices, [&](std::size_t i) {
+  const bench::SimResultCodec codec([&](std::size_t i) { return point_label(points[i]); });
+  const auto results = bench::run_sweep(pool, res_args, indices, [&](std::size_t i) {
     sim::SimParams params = point_params(points[i]);
     sweep_obs.instrument(i, point_label(points[i]), params);
     return run_with(params);
-  });
+  }, codec);
 
   TextTable table({"write-behind", "read-ahead", "idle s", "wall s", "utilization %"});
   double idle_wb = 0;

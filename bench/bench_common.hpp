@@ -1,7 +1,10 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <span>
 #include <sstream>
@@ -11,9 +14,26 @@
 #include <vector>
 
 #include "util/ascii_plot.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 
 namespace craysim::bench {
+
+/// Installs SIGINT/SIGTERM handlers that flush stdio and re-raise with the
+/// default disposition, so an interrupted bench's partial console output
+/// (tables, CSV) survives in pipes/log files while the exit status still
+/// reports the signal. Telemetry artifacts need no handler: every save goes
+/// through util::write_file_atomic, so an interruption can only ever leave
+/// the previous complete file, never a truncated one. Idempotent.
+inline void install_signal_flush_hooks() {
+  static const auto handler = +[](int sig) {
+    std::fflush(nullptr);  // async-signal-unsafe in general; acceptable for a dying bench
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  };
+  std::signal(SIGINT, handler);
+  std::signal(SIGTERM, handler);
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n================================================================\n%s\n"
@@ -87,6 +107,9 @@ struct ObsArgs {
   }
 
   [[nodiscard]] static ObsArgs take(int& argc, char** argv) {
+    // Every telemetered bench passes through here, so this is the one spot
+    // to arm the interrupted-run flush behavior.
+    install_signal_flush_hooks();
     ObsArgs args;
     args.metrics_path = take_value_arg(argc, argv, "--metrics");
     args.perfetto_path = take_value_arg(argc, argv, "--perfetto");
@@ -94,6 +117,40 @@ struct ObsArgs {
     args.timeseries_path = take_value_arg(argc, argv, "--timeseries");
     const std::string interval = take_value_arg(argc, argv, "--counter-interval");
     if (!interval.empty()) args.counter_interval_ms = std::stod(interval);
+    return args;
+  }
+};
+
+/// Resilience knobs shared by every sweep bench (docs/RESILIENCE.md):
+/// "--journal <path>" checkpoints each settled point and resumes a partial
+/// sweep, "--deadline <seconds>" bounds each point with a cooperative
+/// deadline, "--max-attempts <n>" retries failed/timed-out points with
+/// deterministic backoff, and "--chaos-fail <rate>" / "--chaos-seed <n>"
+/// inject synthetic point failures (drills). All absent by default, in which
+/// case the runner takes its legacy bit-identical path.
+struct ResilienceArgs {
+  std::string journal_path;
+  double deadline_s = 0.0;
+  int max_attempts = 0;  ///< 0 = runner default (no retries)
+  double chaos_fail_rate = 0.0;
+  std::uint64_t chaos_seed = 0;  ///< 0 = plan default
+
+  [[nodiscard]] bool any() const {
+    return !journal_path.empty() || deadline_s > 0.0 || max_attempts > 0 ||
+           chaos_fail_rate > 0.0;
+  }
+
+  [[nodiscard]] static ResilienceArgs take(int& argc, char** argv) {
+    ResilienceArgs args;
+    args.journal_path = take_value_arg(argc, argv, "--journal");
+    const std::string deadline = take_value_arg(argc, argv, "--deadline");
+    if (!deadline.empty()) args.deadline_s = std::stod(deadline);
+    const std::string attempts = take_value_arg(argc, argv, "--max-attempts");
+    if (!attempts.empty()) args.max_attempts = std::stoi(attempts);
+    const std::string fail = take_value_arg(argc, argv, "--chaos-fail");
+    if (!fail.empty()) args.chaos_fail_rate = std::stod(fail);
+    const std::string seed = take_value_arg(argc, argv, "--chaos-seed");
+    if (!seed.empty()) args.chaos_seed = std::stoull(seed);
     return args;
   }
 };
@@ -143,13 +200,15 @@ inline void write_json_section(const std::string& path, const std::string& secti
   }
   if (!replaced) sections.emplace_back(section, body);
 
-  std::ofstream out(path, std::ios::trunc);
-  out << "{\n";
+  std::string out = "{\n";
   for (std::size_t i = 0; i < sections.size(); ++i) {
-    out << "  \"" << sections[i].first << "\": {" << sections[i].second << "}";
-    out << (i + 1 < sections.size() ? ",\n" : "\n");
+    out += "  \"" + sections[i].first + "\": {" + sections[i].second + "}";
+    out += (i + 1 < sections.size() ? ",\n" : "\n");
   }
-  out << "}\n";
+  out += "}\n";
+  // Atomic replace: a bench killed mid-write can't corrupt the sections the
+  // other benches already contributed.
+  util::write_file_atomic(path, out);
 }
 
 }  // namespace craysim::bench

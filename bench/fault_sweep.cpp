@@ -12,11 +12,16 @@
 //
 // Telemetry ("--metrics", "--perfetto", "--perfetto-sweep", "--timeseries",
 // "--counter-interval <ms>") instruments the disk-fault *simulator* sweep;
-// the tracer drop-rate sweep has no simulator and stays untelemetered.
+// the tracer drop-rate sweep has no simulator and stays untelemetered. The
+// resilience flags ("--journal", "--deadline", "--max-attempts",
+// "--chaos-fail", "--chaos-seed"; docs/RESILIENCE.md) likewise apply to the
+// simulator sweep only — it is the one whose points are slow enough to be
+// worth checkpointing — and route it through its own resilient runner.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -75,6 +80,7 @@ std::string disk_point_label(double rate) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   bench::heading("Fault sweep: lossy trace recovery fidelity");
 
   const runner::SharedTrace original = runner::share_trace(
@@ -146,11 +152,24 @@ int main(int argc, char** argv) {
   bench::SweepObserver sweep_obs(obs_args, error_rates.size());
   std::vector<std::size_t> indices(error_rates.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
-  const std::vector<sim::SimResult> disk_results = pool.run(indices, [&](std::size_t i) {
-    sim::SimParams params = disk_point_params(error_rates[i]);
-    sweep_obs.instrument(i, disk_point_label(error_rates[i]), params);
-    return run_disk_with(params);
-  });
+  // The simulator sweep gets its own resilient runner only when a flag asks
+  // for one; otherwise it reuses `pool` and the whole bench is byte-identical
+  // to the pre-resilience behavior.
+  std::optional<runner::ExperimentRunner> resilient_pool;
+  if (res_args.any()) {
+    runner::RunnerOptions sim_options = runner_options;
+    bench::apply_resilience(res_args, sim_options);
+    resilient_pool.emplace(sim_options);
+  }
+  runner::ExperimentRunner& sim_pool = resilient_pool ? *resilient_pool : pool;
+  const bench::SimResultCodec codec(
+      [&](std::size_t i) { return disk_point_label(error_rates[i]); });
+  const std::vector<sim::SimResult> disk_results =
+      bench::run_sweep(sim_pool, res_args, indices, [&](std::size_t i) {
+        sim::SimParams params = disk_point_params(error_rates[i]);
+        sweep_obs.instrument(i, disk_point_label(error_rates[i]), params);
+        return run_disk_with(params);
+      }, codec);
   TextTable disks({"transient rate %", "wall s", "slowdown %", "transients", "retries",
                    "backoff s", "disks lost"});
   const double base_wall = disk_results[0].total_wall.seconds();
@@ -182,7 +201,10 @@ int main(int argc, char** argv) {
   if (!obs_args.metrics_path.empty()) {
     obs::MetricsRegistry registry;
     disk_results.back().publish_metrics(registry, "sim");
-    pool.publish_metrics(registry);
+    // With resilience engaged the simulator sweep ran on its own pool, and
+    // its tallies (including the runner.* resilience counters) are the
+    // interesting ones; without it sim_pool IS pool, covering both sweeps.
+    sim_pool.publish_metrics(registry);
     registry.save_jsonl(obs_args.metrics_path);
     std::printf("wrote %zu metrics to %s\n", registry.size(), obs_args.metrics_path.c_str());
   }

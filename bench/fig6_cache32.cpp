@@ -33,20 +33,23 @@ craysim::sim::SimResult run_with(const craysim::sim::SimParams& params) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   bench::heading("Figure 6: 2 x venus, 32 MB main-memory cache -- disk data rate (wall time)");
 
   // A single configuration, still dispatched through the experiment runner so
   // every figure bench shares one execution path.
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  bench::apply_resilience(res_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, 1);
-  const std::vector<int> points = {0};
-  sim::SimResult result = std::move(pool.run(points, [&](int) {
+  const std::vector<std::size_t> points = {0};
+  const bench::SimResultCodec codec([](std::size_t) { return "venus x2, 32 MB cache"; });
+  sim::SimResult result = std::move(bench::run_sweep(pool, res_args, points, [&](std::size_t) {
     sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
     sweep_obs.instrument(0, "venus x2, 32 MB cache", params);
     return run_with(params);
-  })[0]);
+  }, codec)[0]);
 
   auto rates = result.disk_rate.rates();
   const std::size_t window = std::min<std::size_t>(rates.size(), 200);

@@ -56,6 +56,7 @@ std::string point_label(const SweepPoint& point) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   bench::heading("Figure 8: idle time vs cache size, 2 x venus (4 KB and 8 KB blocks)");
 
   const Bytes sizes_mb[] = {4, 8, 16, 32, 64, 128, 256};
@@ -66,15 +67,17 @@ int main(int argc, char** argv) {
   }
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  bench::apply_resilience(res_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, points.size());
   std::vector<std::size_t> indices(points.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
-  const auto results = pool.run(indices, [&](std::size_t i) {
+  const bench::SimResultCodec codec([&](std::size_t i) { return point_label(points[i]); });
+  const auto results = bench::run_sweep(pool, res_args, indices, [&](std::size_t i) {
     sim::SimParams params = point_params(points[i]);
     sweep_obs.instrument(i, point_label(points[i]), params);
     return run_with(params);
-  });
+  }, codec);
 
   TextTable table({"cache MB", "idle s (4K blocks)", "idle s (8K blocks)", "wall s (4K)",
                    "util % (4K)"});

@@ -17,6 +17,12 @@
 // labeled process groups; "--timeseries <path>" adds the sim-time counter
 // samples as JSONL ("--counter-interval <ms>" tunes the period). All flags
 // are passive: the sweep's table is byte-identical with and without them.
+//
+// Resilience (docs/RESILIENCE.md): "--journal <path>" checkpoints each
+// settled point and resumes a partial sweep byte-identically; "--deadline
+// <s>", "--max-attempts <n>", "--chaos-fail <rate>" / "--chaos-seed <n>"
+// bound, retry, and chaos-test the points. Absent flags keep the runner on
+// its legacy bit-identical path.
 #include <cstdio>
 #include <numeric>
 #include <vector>
@@ -67,6 +73,7 @@ std::string point_label(const PolicyPoint& point) {
 int main(int argc, char** argv) {
   using namespace craysim;
   const bench::ObsArgs obs_args = bench::ObsArgs::take(argc, argv);
+  const bench::ResilienceArgs res_args = bench::ResilienceArgs::take(argc, argv);
   obs::MetricsRegistry registry;
   obs::PhaseProfiler phases;
   bench::heading("Section 6.2 policy matrix: utilization %, each app alone in a 16 MB cache");
@@ -81,18 +88,20 @@ int main(int argc, char** argv) {
 
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  bench::apply_resilience(res_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, points.size());
   std::vector<std::size_t> indices(points.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
+  const bench::DoubleCodec codec([&](std::size_t i) { return point_label(points[i]); });
   std::vector<double> utils;
   {
     const auto scope = phases.scope("sweep");
-    utils = pool.run(indices, [&](std::size_t i) {
+    utils = bench::run_sweep(pool, res_args, indices, [&](std::size_t i) {
       sim::SimParams params = point_params(points[i]);
       sweep_obs.instrument(i, point_label(points[i]), params);
       return run_point(points[i], params).cpu_utilization();
-    });
+    }, codec);
   }
   if (!sweep_obs.finish()) return 1;
   const auto util_of = [&](workload::AppId app, std::size_t policy) {

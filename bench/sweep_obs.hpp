@@ -7,15 +7,29 @@
 // user asked for. With neither --perfetto-sweep nor --timeseries given the
 // pool is disabled and instrument() is a no-op, so the sweep's results and
 // printed output are byte-identical to an untelemetered run.
+//
+// Also home to the benches' resilience wiring (docs/RESILIENCE.md):
+// apply_resilience() maps the ResilienceArgs flags onto RunnerOptions, the
+// codecs give the runner's journal a lossless round trip for the two result
+// types the sweeps produce, and run_sweep() runs the journal-capable runner
+// path, reporting per-point outcomes when any flag was given. With no flag
+// given all of it collapses to the legacy pool.run path, byte for byte.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "obs/span_pool.hpp"
+#include "runner/runner.hpp"
+#include "sim/metrics.hpp"
 #include "sim/params.hpp"
+#include "util/digest.hpp"
 
 namespace craysim::bench {
 
@@ -95,6 +109,122 @@ template <typename RunFn>
   spans.save(args.perfetto_path);
   std::printf("\nwrote %zu span events to %s\n", spans.size(), args.perfetto_path.c_str());
   return true;
+}
+
+/// Maps the ResilienceArgs CLI flags onto RunnerOptions. Flags left at their
+/// defaults change nothing, so absent flags keep the options bit-identical
+/// (and the runner on its legacy path).
+inline void apply_resilience(const ResilienceArgs& args, runner::RunnerOptions& options) {
+  if (!args.journal_path.empty()) options.journal_path = args.journal_path;
+  if (args.deadline_s > 0.0) {
+    options.point_deadline =
+        std::chrono::nanoseconds(static_cast<std::int64_t>(args.deadline_s * 1e9));
+  }
+  if (args.max_attempts > 0) options.max_attempts = args.max_attempts;
+  if (args.chaos_fail_rate > 0.0) options.chaos.fail_rate = args.chaos_fail_rate;
+  if (args.chaos_seed != 0) options.chaos.seed = args.chaos_seed;
+}
+
+/// Journal input-identity digest for a sweep point, from its human-readable
+/// label. The runner folds these into the sweep digest, so a journal written
+/// by one bench (or one point layout) is rejected by any other.
+[[nodiscard]] inline std::uint64_t label_digest(std::string_view label) {
+  util::Fnv1a digest;
+  digest.add_text(label);
+  return digest.value();
+}
+
+/// Journal codec for sweeps whose point function returns a bare double
+/// (utilization tables). Encoding uses hexfloat, so decode(encode(v)) == v
+/// bit for bit. `identity` labels point i for the input digest.
+class DoubleCodec {
+ public:
+  explicit DoubleCodec(std::function<std::string(std::size_t)> identity)
+      : identity_(std::move(identity)) {}
+
+  [[nodiscard]] std::string encode(double v) const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+  }
+  [[nodiscard]] double decode(std::string_view text) const {
+    return std::strtod(std::string(text).c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t digest(std::size_t point) const {
+    return label_digest(identity_(point));
+  }
+
+ private:
+  std::function<std::string(std::size_t)> identity_;
+};
+
+/// Journal codec for sweeps that keep the whole SimResult per point, backed
+/// by the lossless sim::serialize_sim_result round trip.
+class SimResultCodec {
+ public:
+  explicit SimResultCodec(std::function<std::string(std::size_t)> identity)
+      : identity_(std::move(identity)) {}
+
+  [[nodiscard]] std::string encode(const sim::SimResult& r) const {
+    return sim::serialize_sim_result(r);
+  }
+  [[nodiscard]] sim::SimResult decode(std::string_view text) const {
+    return sim::parse_sim_result(text);
+  }
+  [[nodiscard]] std::uint64_t digest(std::size_t point) const {
+    return label_digest(identity_(point));
+  }
+
+ private:
+  std::function<std::string(std::size_t)> identity_;
+};
+
+/// Runs a sweep through the runner's journal-capable path and returns the
+/// values in submission order, like ExperimentRunner::run. When any
+/// resilience flag was given, prints a one-line outcome summary (attempts,
+/// retries, journal-restored points) after the sweep settles; with no flag
+/// the runner takes its legacy path and the printed output is byte-identical
+/// to pool.run. Failed points are reported to stderr (with their resilience
+/// status) and exit the bench with status 1 instead of throwing out of main.
+template <typename Point, typename Fn, typename Codec>
+[[nodiscard]] auto run_sweep(runner::ExperimentRunner& pool, const ResilienceArgs& res,
+                             const std::vector<Point>& points, Fn&& fn, const Codec& codec)
+    -> std::vector<runner::detail::point_value_t<Fn, Point>> {
+  auto settled = pool.run_settled(points, std::forward<Fn>(fn), codec);
+  if (res.any()) {
+    std::int64_t attempts = 0;
+    std::int64_t restored = 0;
+    std::int64_t failed = 0;
+    std::int64_t timed_out = 0;
+    for (const auto& point : settled) {
+      attempts += point.outcome.attempts;
+      restored += point.outcome.from_journal ? 1 : 0;
+      failed += point.outcome.status == runner::PointStatus::kFailed ? 1 : 0;
+      timed_out += point.outcome.status == runner::PointStatus::kTimedOut ? 1 : 0;
+    }
+    std::printf("resilience: %zu points, %lld attempts, %lld restored from journal, "
+                "%lld failed, %lld timed out\n",
+                settled.size(), static_cast<long long>(attempts),
+                static_cast<long long>(restored), static_cast<long long>(failed),
+                static_cast<long long>(timed_out));
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    if (settled[i].ok()) continue;
+    ok = false;
+    try {
+      std::rethrow_exception(settled[i].error);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep point %zu failed (%s, %d attempts): %s\n", i,
+                   runner::point_status_name(settled[i].outcome.status),
+                   settled[i].outcome.attempts, e.what());
+    }
+  }
+  if (!ok) std::exit(1);
+  std::vector<runner::detail::point_value_t<Fn, Point>> values;
+  values.reserve(settled.size());
+  for (auto& point : settled) values.push_back(std::move(*point.value));
+  return values;
 }
 
 }  // namespace craysim::bench

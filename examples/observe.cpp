@@ -13,6 +13,7 @@
 //
 // Exits nonzero if any span recording fails its consistency check or an
 // artifact cannot be written — CI runs this as the telemetry smoke test.
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -35,6 +36,17 @@
 
 int main(int argc, char** argv) {
   using namespace craysim;
+
+  // Flush stdio and re-raise on SIGINT/SIGTERM so an interrupted run's
+  // partial console output survives; the artifact saves themselves are
+  // crash-atomic (util::write_file_atomic), so no artifact cleanup needed.
+  static const auto on_signal = +[](int sig) {
+    std::fflush(nullptr);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  };
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   std::string metrics_path = "observe_metrics.jsonl";
   std::string perfetto_path = "observe_trace.json";

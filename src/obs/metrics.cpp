@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace craysim::obs {
@@ -125,10 +125,7 @@ std::string MetricsRegistry::snapshot_jsonl() const {
 }
 
 void MetricsRegistry::save_jsonl(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw Error("cannot open metrics file for writing: " + path);
-  write_jsonl(out);
-  if (!out) throw Error("failed writing metrics file: " + path);
+  util::write_file_atomic(path, snapshot_jsonl());
 }
 
 std::vector<std::string> MetricsRegistry::metric_names() const {

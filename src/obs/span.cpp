@@ -1,12 +1,12 @@
 #include "obs/span.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace craysim::obs {
@@ -197,10 +197,9 @@ std::string SpanRecorder::chrome_json() const {
 }
 
 void SpanRecorder::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw Error("cannot open span file for writing: " + path);
-  write_chrome_json(out);
-  if (!out) throw Error("failed writing span file: " + path);
+  // Atomic replace: an interrupted run leaves the previous trace (or no
+  // file), never a truncated JSON artifact.
+  util::write_file_atomic(path, chrome_json());
 }
 
 void write_counter_series_jsonl(const SpanRecorder& spans, std::ostream& out,
@@ -236,10 +235,9 @@ void write_counter_series_jsonl(const SpanRecorder& spans, std::ostream& out,
 
 void save_counter_series(const SpanRecorder& spans, const std::string& path,
                          std::string_view point) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw Error("cannot open counter-series file for writing: " + path);
+  std::ostringstream out;
   write_counter_series_jsonl(spans, out, point);
-  if (!out) throw Error("failed writing counter-series file: " + path);
+  util::write_file_atomic(path, out.str());
 }
 
 std::string check_consistency(const SpanRecorder& spans) {

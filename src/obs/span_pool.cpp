@@ -1,11 +1,11 @@
 #include "obs/span_pool.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace craysim::obs {
@@ -110,10 +110,7 @@ std::string SpanRecorderPool::merged_chrome_json() const {
 }
 
 void SpanRecorderPool::save_merged(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw Error("cannot open merged span file for writing: " + path);
-  write_merged_chrome_json(out);
-  if (!out) throw Error("failed writing merged span file: " + path);
+  util::write_file_atomic(path, merged_chrome_json());
 }
 
 void SpanRecorderPool::write_counter_series_jsonl(std::ostream& out) const {
@@ -123,10 +120,9 @@ void SpanRecorderPool::write_counter_series_jsonl(std::ostream& out) const {
 }
 
 void SpanRecorderPool::save_counter_series(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw Error("cannot open counter-series file for writing: " + path);
+  std::ostringstream out;
   write_counter_series_jsonl(out);
-  if (!out) throw Error("failed writing counter-series file: " + path);
+  util::write_file_atomic(path, out.str());
 }
 
 std::string check_consistency(const SpanRecorderPool& pool) {

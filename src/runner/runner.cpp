@@ -2,12 +2,61 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "util/digest.hpp"
+#include "util/rng.hpp"
 #include "util/text.hpp"
 
 namespace craysim::runner {
+
+namespace {
+
+/// Splits a (seed, point, attempt) triple into an independent Rng stream.
+/// SplitMix64's golden-ratio increment decorrelates adjacent points; the
+/// attempt lands in the low bits so consecutive attempts of one point get
+/// unrelated streams too.
+std::uint64_t mix_stream(std::uint64_t seed, std::size_t point, std::int32_t attempt) {
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+  return seed ^ (kGolden * (static_cast<std::uint64_t>(point) + 1) +
+                 static_cast<std::uint64_t>(attempt));
+}
+
+void validate_resilience(const RunnerOptions& options) {
+  const RunnerFaultPlan& chaos = options.chaos;
+  if (options.max_attempts < 1) throw ConfigError("runner: max_attempts must be >= 1");
+  if (options.journal_flush_every == 0) {
+    throw ConfigError("runner: journal_flush_every must be >= 1");
+  }
+  if (options.retry_jitter < 0.0 || options.retry_jitter >= 1.0) {
+    throw ConfigError("runner: retry_jitter must lie in [0, 1)");
+  }
+  if (options.retry_backoff.count() < 0) throw ConfigError("runner: retry_backoff must be >= 0");
+  for (const double rate : {chaos.fail_rate, chaos.delay_rate, chaos.hang_rate}) {
+    if (rate < 0.0 || rate > 1.0) throw ConfigError("runner: chaos rates must lie in [0, 1]");
+  }
+  if (chaos.hang_rate > 0.0 && options.point_deadline.count() <= 0) {
+    throw ConfigError(
+        "runner: chaos.hang_rate requires point_deadline > 0 (a hang with no deadline "
+        "would wedge a worker forever)");
+  }
+}
+
+}  // namespace
+
+std::chrono::nanoseconds retry_delay(const RunnerOptions& options, std::size_t point,
+                                     std::int32_t attempt) {
+  // attempt is 2-based: the delay slept before the second execution. Pure
+  // function of (retry_seed, point, attempt) — see the determinism contract.
+  const double base = static_cast<double>(options.retry_backoff.count()) *
+                      std::ldexp(1.0, std::max(0, attempt - 2));
+  Rng rng(mix_stream(options.retry_seed, point, attempt));
+  const double factor =
+      1.0 + options.retry_jitter * (2.0 * rng.next_double() - 1.0);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(std::llround(base * factor)));
+}
 
 RunnerOptions RunnerOptions::from_env() {
   RunnerOptions options;
@@ -20,13 +69,13 @@ RunnerOptions RunnerOptions::from_env() {
   return options;
 }
 
-ExperimentRunner::ExperimentRunner(RunnerOptions options) {
-  unsigned threads = options.threads;
+ExperimentRunner::ExperimentRunner(RunnerOptions options) : options_(std::move(options)) {
+  unsigned threads = options_.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (options.collect_telemetry) stats_ = std::make_unique<WorkerStats[]>(threads);
+  if (options_.collect_telemetry) stats_ = std::make_unique<WorkerStats[]>(threads);
   // The caller is worker number zero; only the extras need threads.
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
@@ -161,6 +210,135 @@ void ExperimentRunner::run_indexed(std::size_t count,
   }
 }
 
+void ExperimentRunner::inject_chaos(std::size_t index, std::int32_t attempt,
+                                    const util::CancelToken& token) {
+  const RunnerFaultPlan& plan = options_.chaos;
+  if (!plan.enabled()) return;
+  Rng rng(mix_stream(plan.seed, index, attempt));
+  // Fixed draw order (hang, fail, delay): one seed pins one schedule. Draws
+  // are gated on their rate being nonzero, mirroring faults::FaultInjector —
+  // enabling a category shifts later draws, toggling a zero rate does not.
+  if (plan.hang_rate > 0.0 && rng.chance(plan.hang_rate)) {
+    res_chaos_hangs_.fetch_add(1, std::memory_order_relaxed);
+    while (!token.cancelled()) std::this_thread::sleep_for(plan.hang_poll);
+    throw CancelledError("chaos: injected hang (point " + std::to_string(index) + ", attempt " +
+                         std::to_string(attempt) + ") cancelled by deadline");
+  }
+  if (plan.fail_rate > 0.0 && rng.chance(plan.fail_rate)) {
+    res_chaos_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw Error("chaos: injected failure (point " + std::to_string(index) + ", attempt " +
+                std::to_string(attempt) + ")");
+  }
+  if (plan.delay_rate > 0.0 && rng.chance(plan.delay_rate)) {
+    res_chaos_delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(plan.delay);
+  }
+}
+
+PointOutcome ExperimentRunner::execute_point(std::size_t index, const ResilientBody& body,
+                                             SweepJournal* journal, std::uint64_t digest) {
+  PointOutcome outcome;
+  std::string payload;
+  const std::int32_t max_attempts = options_.max_attempts;
+  for (std::int32_t attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    res_attempts_.fetch_add(1, std::memory_order_relaxed);
+    // Each attempt gets a fresh deadline budget.
+    std::optional<util::CancelToken> deadline_token;
+    if (options_.point_deadline.count() > 0) {
+      deadline_token.emplace(std::chrono::steady_clock::now() + options_.point_deadline);
+    }
+    const util::CancelToken& token =
+        deadline_token ? *deadline_token : util::CancelToken::none();
+    bool failed = false;
+    try {
+      inject_chaos(index, attempt, token);
+      payload = body(index, token);
+      outcome.status = PointStatus::kOk;
+      outcome.error.clear();
+    } catch (const CancelledError& e) {
+      failed = true;
+      outcome.status = PointStatus::kTimedOut;
+      outcome.error = e.what();
+      res_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      failed = true;
+      outcome.status = PointStatus::kFailed;
+      outcome.error = e.what();
+    } catch (...) {
+      failed = true;
+      outcome.status = PointStatus::kFailed;
+      outcome.error = "unknown error";
+    }
+    if (!failed || attempt >= max_attempts) break;
+    const std::chrono::nanoseconds delay = retry_delay(options_, index, attempt + 1);
+    outcome.backoff_ns += delay.count();
+    res_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(delay);
+  }
+  if (outcome.status != PointStatus::kOk) res_failures_.fetch_add(1, std::memory_order_relaxed);
+  res_backoff_ns_.fetch_add(outcome.backoff_ns, std::memory_order_relaxed);
+  if (journal != nullptr) {
+    SweepJournal::Record record;
+    record.index = index;
+    record.input_digest = digest;
+    record.outcome = outcome;
+    if (outcome.status == PointStatus::kOk) record.payload = std::move(payload);
+    journal->append(std::move(record));
+  }
+  return outcome;
+}
+
+std::vector<PointOutcome> ExperimentRunner::run_resilient(std::size_t count,
+                                                          const ResilientBody& body,
+                                                          const PointDigestFn& point_digest,
+                                                          const RestoreFn& on_restored) {
+  validate_resilience(options_);
+  resilient_used_ = true;
+  std::vector<PointOutcome> outcomes(count);
+  std::vector<std::uint64_t> digests;
+  std::unique_ptr<SweepJournal> journal;
+  std::vector<bool> done(count, false);
+  if (!options_.journal_path.empty()) {
+    if (!point_digest) {
+      throw ConfigError(
+          "runner: journal_path requires a result codec — use the run_settled/run overload "
+          "taking one");
+    }
+    digests.resize(count);
+    util::Fnv1a sweep;
+    sweep.add(static_cast<std::uint64_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      digests[i] = point_digest(i);
+      sweep.add(digests[i]);
+    }
+    journal = std::make_unique<SweepJournal>(options_.journal_path, sweep.value(), count,
+                                             options_.journal_flush_every);
+    for (const SweepJournal::Record& record : journal->records()) {
+      if (record.input_digest != digests[record.index]) {
+        throw Error("journal: " + options_.journal_path + ": record for point " +
+                    std::to_string(record.index) + " carries a different input digest");
+      }
+      done[record.index] = true;
+      outcomes[record.index] = record.outcome;
+      outcomes[record.index].from_journal = true;
+      if (on_restored) on_restored(record.index, record.payload, outcomes[record.index]);
+      ++res_restored_;
+    }
+  }
+  std::vector<std::size_t> todo;
+  todo.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!done[i]) todo.push_back(i);
+  }
+  run_indexed(todo.size(), [&](std::size_t j) {
+    const std::size_t i = todo[j];
+    outcomes[i] = execute_point(i, body, journal.get(), journal ? digests[i] : 0);
+  });
+  if (journal) journal->flush();
+  return outcomes;
+}
+
 void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
                                        std::string_view prefix) const {
   const std::string p(prefix);
@@ -192,6 +370,25 @@ void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
                        : 0.0);
   registry.gauge(p + ".queue_depth.max")
       .set(static_cast<double>(depth_max_.load(std::memory_order_relaxed)));
+  // Resilience tallies appear only when a resilient run happened, keeping
+  // the legacy metric-name schema (pinned by obs_golden_test) unchanged.
+  if (resilient_used_) {
+    registry.counter(p + ".attempts").add(res_attempts_.load(std::memory_order_relaxed));
+    registry.counter(p + ".retries").add(res_retries_.load(std::memory_order_relaxed));
+    registry.counter(p + ".timeouts").add(res_timeouts_.load(std::memory_order_relaxed));
+    registry.counter(p + ".failures").add(res_failures_.load(std::memory_order_relaxed));
+    registry.counter(p + ".points_restored").add(res_restored_);
+    registry.gauge(p + ".backoff_s")
+        .set(static_cast<double>(res_backoff_ns_.load(std::memory_order_relaxed)) * 1e-9);
+    if (options_.chaos.enabled()) {
+      registry.counter(p + ".chaos.failures")
+          .add(res_chaos_failures_.load(std::memory_order_relaxed));
+      registry.counter(p + ".chaos.delays")
+          .add(res_chaos_delays_.load(std::memory_order_relaxed));
+      registry.counter(p + ".chaos.hangs")
+          .add(res_chaos_hangs_.load(std::memory_order_relaxed));
+    }
+  }
 }
 
 SharedTrace share_trace(trace::Trace trace) {

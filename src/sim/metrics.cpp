@@ -1,8 +1,12 @@
 #include "sim/metrics.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
 
 namespace craysim::sim {
 
@@ -100,6 +104,217 @@ std::string SimResult::summary() const {
     out += buf;
   }
   return out;
+}
+
+namespace {
+
+// ---- SimResult wire codec (journal payloads) -------------------------------
+//
+// Line-oriented key/value text. Integers print verbatim; doubles print as C
+// hexfloats ("%a"), which strtod parses back bit-exactly; the process name
+// and the annotated-trace blob are length-prefixed so embedded spaces and
+// newlines survive. Version-stamped so a future field change fails loudly
+// instead of misparsing old journals.
+
+void put_i64(std::string& out, std::int64_t value) {
+  out += ' ';
+  out += std::to_string(value);
+}
+
+void put_f64(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %a", value);
+  out += buf;
+}
+
+void put_series(std::string& out, const char* name, const BinnedSeries& series) {
+  out += name;
+  put_i64(out, series.bin_width().count());
+  put_i64(out, static_cast<std::int64_t>(series.num_bins()));
+  for (const double v : series.bins()) put_f64(out, v);
+  out += '\n';
+}
+
+/// Whitespace-token cursor over the serialized text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::string_view token() {
+    skip_space();
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    const std::size_t start = at_;
+    while (at_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[at_]))) ++at_;
+    return text_.substr(start, at_ - start);
+  }
+
+  void expect(std::string_view word) {
+    const std::string_view got = token();
+    if (got != word) {
+      fail("expected '" + std::string(word) + "', got '" + std::string(got) + "'");
+    }
+  }
+
+  [[nodiscard]] std::int64_t i64() {
+    const auto parsed = parse_int(token());
+    if (!parsed) fail("bad integer");
+    return *parsed;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::string word(token());  // strtod needs a terminator
+    char* end = nullptr;
+    const double value = std::strtod(word.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == word.c_str()) fail("bad float");
+    return value;
+  }
+
+  /// Reads "<len>:" then exactly len raw bytes (may span lines).
+  [[nodiscard]] std::string_view blob() {
+    skip_space();
+    std::size_t colon = at_;
+    while (colon < text_.size() && text_[colon] != ':') ++colon;
+    const auto len = parse_uint(text_.substr(at_, colon - at_));
+    if (!len || colon >= text_.size()) fail("bad length prefix");
+    at_ = colon + 1;
+    if (at_ + *len > text_.size()) fail("truncated blob");
+    const std::string_view out = text_.substr(at_, *len);
+    at_ += *len;
+    return out;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("sim result parse: " + why + " at offset " + std::to_string(at_));
+  }
+
+ private:
+  void skip_space() {
+    while (at_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[at_]))) ++at_;
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+BinnedSeries read_series(Cursor& in, const char* name) {
+  in.expect(name);
+  const std::int64_t width = in.i64();
+  if (width <= 0) in.fail("series bin width must be positive");
+  BinnedSeries series{Ticks(width)};
+  const std::int64_t bins = in.i64();
+  for (std::int64_t i = 0; i < bins; ++i) {
+    // add() into an empty bin stores the value exactly (0.0 + v == v).
+    series.add(Ticks(width * i), in.f64());
+  }
+  return series;
+}
+
+}  // namespace
+
+std::string serialize_sim_result(const SimResult& result) {
+  std::string out = "craysim-simresult 1\n";
+  out += "times";
+  put_i64(out, result.total_wall.count());
+  put_i64(out, result.cpu_busy.count());
+  put_i64(out, result.cpu_idle.count());
+  put_i64(out, result.overhead_time.count());
+  out += "\ncache";
+  const CacheMetrics& c = result.cache;
+  for (const std::int64_t v :
+       {c.read_requests, c.read_full_hits, c.read_partial_hits, c.read_misses, c.write_requests,
+        c.write_absorbed, c.readahead_issued, c.readahead_used_blocks, c.readahead_fetched_blocks,
+        c.evictions, c.space_waits, c.writes_cancelled_blocks}) {
+    put_i64(out, v);
+  }
+  out += "\ndisk";
+  const DeviceMetrics& d = result.disk;
+  for (const std::int64_t v :
+       {d.read_ops, d.write_ops, d.bytes_read, d.bytes_written, d.busy_time.count(),
+        d.queue_wait_time.count(), d.transient_errors, d.retries, d.permanent_failures,
+        d.redirected_ios, d.latency_spikes, d.retry_backoff_time.count()}) {
+    put_i64(out, v);
+  }
+  out += "\nprocs";
+  put_i64(out, static_cast<std::int64_t>(result.processes.size()));
+  out += '\n';
+  for (const ProcessResult& p : result.processes) {
+    out += "p";
+    put_i64(out, p.pid);
+    put_i64(out, p.finish_time.count());
+    put_i64(out, p.cpu_time.count());
+    put_i64(out, p.blocked_time.count());
+    put_i64(out, p.io_count);
+    put_i64(out, p.bytes_read);
+    put_i64(out, p.bytes_written);
+    out += ' ' + std::to_string(p.name.size()) + ':' + p.name + '\n';
+  }
+  put_series(out, "series.logical", result.logical_rate);
+  put_series(out, "series.disk", result.disk_rate);
+  put_series(out, "series.disk_read", result.disk_read_rate);
+  put_series(out, "series.disk_write", result.disk_write_rate);
+  const std::string trace_text =
+      result.annotated_trace.empty() ? std::string() : trace::serialize_trace(result.annotated_trace);
+  out += "trace " + std::to_string(trace_text.size()) + ':' + trace_text + '\n';
+  return out;
+}
+
+SimResult parse_sim_result(std::string_view text) {
+  Cursor in(text);
+  in.expect("craysim-simresult");
+  if (in.i64() != 1) in.fail("unsupported sim-result version");
+  SimResult result;
+  in.expect("times");
+  result.total_wall = Ticks(in.i64());
+  result.cpu_busy = Ticks(in.i64());
+  result.cpu_idle = Ticks(in.i64());
+  result.overhead_time = Ticks(in.i64());
+  in.expect("cache");
+  CacheMetrics& c = result.cache;
+  for (std::int64_t* field :
+       {&c.read_requests, &c.read_full_hits, &c.read_partial_hits, &c.read_misses,
+        &c.write_requests, &c.write_absorbed, &c.readahead_issued, &c.readahead_used_blocks,
+        &c.readahead_fetched_blocks, &c.evictions, &c.space_waits, &c.writes_cancelled_blocks}) {
+    *field = in.i64();
+  }
+  in.expect("disk");
+  DeviceMetrics& d = result.disk;
+  d.read_ops = in.i64();
+  d.write_ops = in.i64();
+  d.bytes_read = in.i64();
+  d.bytes_written = in.i64();
+  d.busy_time = Ticks(in.i64());
+  d.queue_wait_time = Ticks(in.i64());
+  d.transient_errors = in.i64();
+  d.retries = in.i64();
+  d.permanent_failures = in.i64();
+  d.redirected_ios = in.i64();
+  d.latency_spikes = in.i64();
+  d.retry_backoff_time = Ticks(in.i64());
+  in.expect("procs");
+  const std::int64_t proc_count = in.i64();
+  if (proc_count < 0) in.fail("negative process count");
+  result.processes.reserve(static_cast<std::size_t>(proc_count));
+  for (std::int64_t i = 0; i < proc_count; ++i) {
+    in.expect("p");
+    ProcessResult p;
+    p.pid = static_cast<std::uint32_t>(in.i64());
+    p.finish_time = Ticks(in.i64());
+    p.cpu_time = Ticks(in.i64());
+    p.blocked_time = Ticks(in.i64());
+    p.io_count = in.i64();
+    p.bytes_read = in.i64();
+    p.bytes_written = in.i64();
+    p.name = std::string(in.blob());
+    result.processes.push_back(std::move(p));
+  }
+  result.logical_rate = read_series(in, "series.logical");
+  result.disk_rate = read_series(in, "series.disk");
+  result.disk_read_rate = read_series(in, "series.disk_read");
+  result.disk_write_rate = read_series(in, "series.disk_write");
+  in.expect("trace");
+  const std::string_view trace_text = in.blob();
+  if (!trace_text.empty()) result.annotated_trace = trace::parse_trace(trace_text);
+  return result;
 }
 
 }  // namespace craysim::sim

@@ -113,4 +113,15 @@ struct SimResult {
   void publish_metrics(obs::MetricsRegistry& registry, std::string_view prefix = "sim") const;
 };
 
+/// Lossless text serialization of a SimResult, used as the experiment
+/// runner's journal payload (docs/RESILIENCE.md): parse_sim_result(
+/// serialize_sim_result(r)) reproduces r exactly — integers verbatim,
+/// doubles as C hexfloats, the annotated trace (when recorded) embedded via
+/// trace::serialize_trace. That exactness is what makes a resumed sweep
+/// byte-identical to an uninterrupted one.
+[[nodiscard]] std::string serialize_sim_result(const SimResult& result);
+
+/// Inverse of serialize_sim_result. Throws Error on malformed input.
+[[nodiscard]] SimResult parse_sim_result(std::string_view text);
+
 }  // namespace craysim::sim

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "faults/fault.hpp"
+#include "util/cancel.hpp"
 #include "util/units.hpp"
 
 namespace craysim::obs {
@@ -119,6 +120,13 @@ struct SimParams {
   /// The sampling handler observes state without mutating it, so results
   /// stay bit-identical either way.
   Ticks counter_interval = Ticks::zero();
+  /// Cooperative cancellation (non-owning; must outlive the simulator). When
+  /// set, the event loop polls the token every few thousand events and
+  /// abandons the run with CancelledError once it is cancelled or its
+  /// deadline passes — this is the hook the experiment runner's per-point
+  /// deadlines use. When null — the default — the check is a single
+  /// predicted branch per event and results are bit-identical.
+  const util::CancelToken* cancel = nullptr;
 
   /// Named presets.
   [[nodiscard]] static SimParams paper_main_memory(Bytes cache_capacity);

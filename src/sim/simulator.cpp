@@ -138,9 +138,25 @@ SimResult Simulator::run() {
   // longer than a few simulated hours.
   const Ticks wall_limit = Ticks::from_seconds(1e6);
 
+  // Cooperative cancellation: poll the token once per kCancelStride events.
+  // The stride keeps the steady_clock read off the per-event path; with no
+  // token the whole mechanism is one predicted branch per event.
+  constexpr std::uint32_t kCancelStride = 4096;
+  std::uint32_t cancel_countdown = kCancelStride;
+
   // Run until every process has finished AND the cache has drained its
   // dirty data (write-behind means data can outlive its writer).
   while (!events_.empty() && !drained()) {
+    if (params_.cancel != nullptr && --cancel_countdown == 0) {
+      cancel_countdown = kCancelStride;
+      if (params_.cancel->cancelled()) {
+        throw CancelledError("simulation abandoned at t=" +
+                             std::to_string(now_.seconds()) + " s (" +
+                             (params_.cancel->deadline_expired() ? "deadline expired"
+                                                                 : "cancel requested") +
+                             ")");
+      }
+    }
     std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
     const Event event = events_.back();
     events_.pop_back();

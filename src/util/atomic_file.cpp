@@ -1,0 +1,91 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace craysim::util {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& path, const char* op, int err) {
+  throw Error("atomic write: " + std::string(op) + " failed for " + path + ": " +
+              std::strerror(err));
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+void write_file_atomic(const std::string& path, std::string_view contents, bool /*sync*/) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw_io(tmp, "write", errno);
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw_io(path, "rename", err);
+  }
+}
+
+#else
+
+void write_file_atomic(const std::string& path, std::string_view contents, bool sync) {
+  // The temp file lives next to the destination so rename(2) cannot cross a
+  // filesystem boundary; the pid suffix keeps concurrent writers (e.g. a
+  // crash drill's parent and child) from clobbering each other's temp.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_io(tmp, "open", errno);
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ::ssize_t wrote = ::write(fd, data, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_io(tmp, "write", err);
+    }
+    data += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_io(tmp, "fsync", err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw_io(tmp, "close", err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw_io(path, "rename", err);
+  }
+}
+
+#endif
+
+}  // namespace craysim::util

@@ -1,0 +1,69 @@
+// Cooperative cancellation for long-running computations.
+//
+// A CancelToken is shared between a controller (the experiment runner's
+// per-point deadline machinery, a test, a shutdown path) and a computation
+// that polls it at safe points — the Simulator checks its token every few
+// thousand events. Cancellation is purely cooperative: nothing is ever
+// interrupted mid-operation, so invariants hold when a run is abandoned.
+//
+// A token may carry a steady_clock deadline. `cancelled()` trips the flag
+// itself once the deadline passes, so deadline enforcement needs no watchdog
+// thread — the polling computation is the clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace craysim::util {
+
+/// Thread-safe cooperative cancellation signal, optionally with a deadline.
+/// Not copyable or movable (it is a shared rendezvous point); pass by
+/// pointer or reference. All member functions are safe to call concurrently.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that auto-cancels once `deadline` (steady clock) passes.
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent.
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once cancellation was requested or the deadline passed. The
+  /// deadline is only consulted (and the flag tripped) on this call — the
+  /// polling side drives the clock.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      deadline_expired_.store(true, std::memory_order_relaxed);
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when cancellation came from the deadline rather than an explicit
+  /// request_cancel(). Meaningful only once cancelled() has returned true.
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    return deadline_expired_.load(std::memory_order_relaxed);
+  }
+
+  /// A shared token that is never cancelled, for code paths that require a
+  /// token but have no controller (e.g. non-resilient runner sweeps).
+  [[nodiscard]] static const CancelToken& none() noexcept {
+    static const CancelToken token;
+    return token;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_expired_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace craysim::util

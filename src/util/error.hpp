@@ -38,4 +38,12 @@ class FaultError : public Error {
   explicit FaultError(const std::string& what) : Error("fault: " + what) {}
 };
 
+/// A computation observed cooperative cancellation (per-point deadline hit,
+/// shutdown requested) and abandoned its work cleanly. The experiment runner
+/// classifies these as timeouts rather than failures.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error("cancelled: " + what) {}
+};
+
 }  // namespace craysim

@@ -20,8 +20,13 @@ import sys
 
 def load_ns_per_op(path):
     """Flattens {"section": {"BM_x_ns_per_op": 1.0, ...}} to one dict."""
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_diff: {path}: cannot open: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: {path}: not valid JSON: {e}")
     flat = {}
     for section, body in data.items():
         if not isinstance(body, dict):

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate craysim telemetry artifacts: Perfetto JSON, metrics JSONL, and
-counter time-series JSONL.
+"""Validate craysim telemetry artifacts: Perfetto JSON, metrics JSONL,
+counter time-series JSONL, and sweep checkpoint journals.
 
 Usage:
     tools/validate_telemetry.py --perfetto trace.json --metrics metrics.jsonl
     tools/validate_telemetry.py --perfetto sweep.json --min-processes 3 \
         --timeseries series.jsonl
+    tools/validate_telemetry.py --journal sweep.journal
 
 Checks (any failure exits nonzero, printing what broke):
   Perfetto (Chrome trace-event JSON), including SpanRecorderPool merges
@@ -29,9 +30,18 @@ Checks (any failure exits nonzero, printing what broke):
   Counter time series JSONL (--timeseries):
     * every line is {"point": str, "series": str, "t_us": int, "value": num}
     * within each (point, series) pair, t_us is nondecreasing
+  Sweep journal (--journal, the runner's checkpoint/resume file; see
+  docs/RESILIENCE.md):
+    * header line is {"craysim_journal": 1, "sweep_digest": "0x...",
+      "points": N > 0}
+    * every record line is valid JSON with a strictly increasing, in-range
+      index, a "0x..." input digest, status in {ok, failed, timeout},
+      attempts >= 1, backoff_ns >= 0
+    * ok records carry a "result" payload; failed/timeout records an "error"
 
-CI's telemetry smoke job runs this over examples/observe's output, including
-the merged multi-point sweep trace.
+CI's telemetry smoke job runs this over examples/observe's output (including
+the merged multi-point sweep trace), and the crash-drill job over the
+journal the drill leaves behind.
 """
 
 import argparse
@@ -44,8 +54,17 @@ def fail(message):
     sys.exit(1)
 
 
+def open_or_fail(path):
+    """Opens for reading; any OS error becomes a one-line failure instead of
+    a traceback (missing artifacts are the common CI mistake)."""
+    try:
+        return open(path)
+    except OSError as e:
+        fail(f"{path}: cannot open: {e.strerror or e}")
+
+
 def validate_perfetto(path, min_processes=0):
-    with open(path) as f:
+    with open_or_fail(path) as f:
         try:
             data = json.load(f)
         except json.JSONDecodeError as e:
@@ -126,7 +145,7 @@ HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "p50", "p90", "p99")
 
 def validate_metrics(path, required):
     names = []
-    with open(path) as f:
+    with open_or_fail(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -173,7 +192,7 @@ def validate_metrics(path, required):
 def validate_timeseries(path):
     last = {}  # (point, series) -> last t_us
     lines = 0
-    with open(path) as f:
+    with open_or_fail(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -206,11 +225,79 @@ def validate_timeseries(path):
           f"nondecreasing per series)")
 
 
+VALID_STATUSES = ("ok", "failed", "timeout")
+
+
+def is_hex_digest(value):
+    if not isinstance(value, str) or not value.startswith("0x"):
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def validate_journal(path):
+    records = 0
+    points = None
+    last_index = None
+    with open_or_fail(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{path}:{lineno}: not a JSON object")
+            if points is None:
+                if obj.get("craysim_journal") != 1:
+                    fail(f"{path}:{lineno}: missing craysim_journal version header")
+                if not is_hex_digest(obj.get("sweep_digest")):
+                    fail(f"{path}:{lineno}: sweep_digest is not a '0x...' string")
+                points = obj.get("points")
+                if not isinstance(points, int) or points <= 0:
+                    fail(f"{path}:{lineno}: points is not a positive integer")
+                continue
+            index = obj.get("index")
+            if not isinstance(index, int) or not 0 <= index < points:
+                fail(f"{path}:{lineno}: index {index!r} out of range [0, {points})")
+            if last_index is not None and index <= last_index:
+                fail(f"{path}:{lineno}: index {index} not strictly increasing "
+                     f"(previous {last_index})")
+            last_index = index
+            if not is_hex_digest(obj.get("digest")):
+                fail(f"{path}:{lineno}: digest is not a '0x...' string")
+            status = obj.get("status")
+            if status not in VALID_STATUSES:
+                fail(f"{path}:{lineno}: status {status!r} not in {VALID_STATUSES}")
+            attempts = obj.get("attempts")
+            if not isinstance(attempts, int) or attempts < 1:
+                fail(f"{path}:{lineno}: attempts {attempts!r} is not an integer >= 1")
+            backoff = obj.get("backoff_ns")
+            if not isinstance(backoff, int) or backoff < 0:
+                fail(f"{path}:{lineno}: backoff_ns {backoff!r} is not an integer >= 0")
+            if status == "ok":
+                if not isinstance(obj.get("result"), str):
+                    fail(f"{path}:{lineno}: ok record without a 'result' payload")
+            elif not isinstance(obj.get("error"), str):
+                fail(f"{path}:{lineno}: {status} record without an 'error' message")
+            records += 1
+    if points is None:
+        fail(f"{path}: empty journal (no header line)")
+    print(f"{path}: OK ({records} of {points} points settled, "
+          f"indices strictly increasing, statuses valid)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--perfetto", help="Chrome trace-event JSON file")
     parser.add_argument("--metrics", help="metrics snapshot JSONL file")
     parser.add_argument("--timeseries", help="counter time-series JSONL file")
+    parser.add_argument("--journal", help="sweep checkpoint/resume journal file")
     parser.add_argument(
         "--min-processes",
         type=int,
@@ -224,15 +311,18 @@ def main():
         help="metric name (or 'prefix.*') that must be present; repeatable",
     )
     args = parser.parse_args()
-    if not args.perfetto and not args.metrics and not args.timeseries:
-        parser.error(
-            "nothing to validate: pass --perfetto, --metrics, and/or --timeseries")
+    if not args.perfetto and not args.metrics and not args.timeseries \
+            and not args.journal:
+        parser.error("nothing to validate: pass --perfetto, --metrics, "
+                     "--timeseries, and/or --journal")
     if args.perfetto:
         validate_perfetto(args.perfetto, args.min_processes)
     if args.metrics:
         validate_metrics(args.metrics, args.require)
     if args.timeseries:
         validate_timeseries(args.timeseries)
+    if args.journal:
+        validate_journal(args.journal)
 
 
 if __name__ == "__main__":
