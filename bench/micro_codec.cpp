@@ -4,8 +4,13 @@
 
 #include "micro_common.hpp"
 
+#include <cstdio>
+#include <span>
 #include <sstream>
+#include <string>
 
+#include "trace/binary.hpp"
+#include "trace/binary_stream.hpp"
 #include "trace/codec.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
@@ -59,6 +64,50 @@ void BM_ComputeStats(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_ComputeStats);
+
+// Decoding the venus trace from the framed binary stream (span mode, as the
+// mmap path runs it). The whole-trace text decode above is the number this
+// must beat.
+void BM_DecodeBinaryStream(benchmark::State& state) {
+  const trace::Trace& source = venus_trace();
+  std::ostringstream wire;
+  {
+    trace::BinaryTraceWriter writer(wire);
+    for (const auto& r : source) writer.write(r);
+  }
+  const std::string bytes = wire.str();
+  const std::span<const std::byte> payload(reinterpret_cast<const std::byte*>(bytes.data()),
+                                           bytes.size());
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    trace::BinaryTraceReader reader(payload);
+    std::int64_t n = 0;
+    while (auto record = reader.next()) {
+      benchmark::DoNotOptimize(&*record);
+      ++n;
+    }
+    records += n;
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_DecodeBinaryStream);
+
+// Cold-ish load of a text trace through the mmap-backed load_trace path
+// (file stays in page cache between iterations, so this measures the mapped
+// parse rather than disk).
+void BM_LoadTraceMmap(benchmark::State& state) {
+  const std::string path = "/tmp/craysim_bench_mmap_trace.txt";
+  trace::save_trace(venus_trace(), path);
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const trace::Trace t = trace::load_trace_mapped(path);
+    benchmark::DoNotOptimize(t.data());
+    records += static_cast<std::int64_t>(t.size());
+  }
+  state.SetItemsProcessed(records);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_LoadTraceMmap);
 
 void BM_SynthesizeTrace(benchmark::State& state) {
   const auto profile = workload::make_profile(workload::AppId::kVenus);

@@ -399,4 +399,11 @@ SharedTrace load_shared_trace(const std::string& path) {
   return share_trace(trace::load_trace(path));
 }
 
+SharedTraceFile map_shared_trace(const std::string& path) {
+  auto mapped = trace::MappedFile::open(path);
+  if (!mapped) throw Error("cannot map trace file: " + path);
+  mapped->advise_sequential();
+  return std::make_shared<const trace::MappedFile>(std::move(*mapped));
+}
+
 }  // namespace craysim::runner

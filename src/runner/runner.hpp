@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "runner/journal.hpp"
+#include "trace/mapped_file.hpp"
 #include "trace/stream.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
@@ -444,5 +445,16 @@ using SharedTrace = std::shared_ptr<const trace::Trace>;
 
 [[nodiscard]] SharedTrace share_trace(trace::Trace trace);
 [[nodiscard]] SharedTrace load_shared_trace(const std::string& path);
+
+/// A read-only mmap of a trace file shared across sweep points: one set of
+/// page-cache pages feeds every worker (and every runner process — the
+/// kernel shares clean pages machine-wide), and each point can walk its own
+/// zero-copy reader over the mapping. load_shared_trace already parses via
+/// such a mapping; use this when points should *stream* the records instead
+/// of sharing one parsed vector. Throws craysim::Error for unmappable
+/// inputs (FIFO, size-0) — streaming sweeps need a real file.
+using SharedTraceFile = std::shared_ptr<const trace::MappedFile>;
+
+[[nodiscard]] SharedTraceFile map_shared_trace(const std::string& path);
 
 }  // namespace craysim::runner

@@ -74,6 +74,68 @@ void BufferCache::lru_unlink(std::uint32_t slot) {
   --clean_count_;
 }
 
+void BufferCache::dirty_link(std::uint32_t slot) {
+  Block& block = pool_[slot];
+  const std::uint64_t key = block.key;
+  // Find the dirty block to insert after (kNil = new head). Keys are unique
+  // (a block links here only on its transition into Dirty), so strict
+  // comparisons suffice.
+  std::uint32_t after;
+  if (dirty_tail_ == kNil || key > pool_[dirty_tail_].key) {
+    after = dirty_tail_;  // appending writes: O(1)
+  } else if (key < pool_[dirty_head_].key) {
+    after = kNil;
+  } else if (dirty_hint_ != kNil) {
+    // Walk from the previous insertion point — neighbors of the last write
+    // (the locality case) are a step or two away.
+    after = dirty_hint_;
+    if (pool_[after].key < key) {
+      while (pool_[after].lru_next != kNil && pool_[pool_[after].lru_next].key < key) {
+        after = pool_[after].lru_next;
+      }
+    } else {
+      while (after != kNil && pool_[after].key > key) after = pool_[after].lru_prev;
+    }
+  } else {
+    after = dirty_tail_;
+    while (after != kNil && pool_[after].key > key) after = pool_[after].lru_prev;
+  }
+
+  block.lru_prev = after;
+  if (after == kNil) {
+    block.lru_next = dirty_head_;
+    dirty_head_ = slot;
+  } else {
+    block.lru_next = pool_[after].lru_next;
+    pool_[after].lru_next = slot;
+  }
+  if (block.lru_next != kNil) {
+    pool_[block.lru_next].lru_prev = slot;
+  } else {
+    dirty_tail_ = slot;
+  }
+  dirty_hint_ = slot;
+  ++dirty_count_;
+}
+
+void BufferCache::dirty_unlink(std::uint32_t slot) {
+  Block& block = pool_[slot];
+  if (dirty_hint_ == slot) dirty_hint_ = block.lru_prev;
+  if (block.lru_prev != kNil) {
+    pool_[block.lru_prev].lru_next = block.lru_next;
+  } else {
+    dirty_head_ = block.lru_next;
+  }
+  if (block.lru_next != kNil) {
+    pool_[block.lru_next].lru_prev = block.lru_prev;
+  } else {
+    dirty_tail_ = block.lru_prev;
+  }
+  block.lru_prev = kNil;
+  block.lru_next = kNil;
+  --dirty_count_;
+}
+
 void BufferCache::free_slot(std::uint32_t slot) {
   Block& block = pool_[slot];
   block.live = false;
@@ -148,8 +210,7 @@ std::uint32_t BufferCache::insert_block(std::uint64_t key, State state, std::uin
   if (state == State::kClean) {
     lru_push_back(slot);
   } else if (state == State::kDirty) {
-    dirty_.insert(key);
-    ++dirty_count_;
+    dirty_link(slot);
   }
   index_.emplace(key) = slot;
   ++live_count_;
@@ -165,21 +226,19 @@ void BufferCache::touch_clean(Block& block) {
   lru_push_back(slot);
 }
 
-void BufferCache::make_dirty(std::uint64_t key, Block& block, std::uint32_t pid) {
+void BufferCache::make_dirty(Block& block, std::uint32_t pid) {
   switch (block.state) {
     case State::kClean:
       lru_unlink(slot_of(block));
       block.state = State::kDirty;
-      dirty_.insert(key);
-      ++dirty_count_;
+      dirty_link(slot_of(block));
       break;
     case State::kDirty:
       break;
     case State::kFetching:
       // Overwritten before the fetch landed; the fetched data is stale.
       block.state = State::kDirty;
-      dirty_.insert(key);
-      ++dirty_count_;
+      dirty_link(slot_of(block));
       break;
     case State::kFlushing:
       block.redirtied = true;
@@ -306,7 +365,7 @@ BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t 
         pool_[fresh].dirty_since = now;
       } else {
         Block& block = pool_[slot];
-        make_dirty(key, block, pid);
+        make_dirty(block, pid);
         block.dirty_since = now;
       }
     }
@@ -327,8 +386,7 @@ BufferCache::WritePlan BufferCache::plan_write(std::uint32_t pid, std::uint32_t 
             block.state = State::kFlushing;
             break;
           case State::kDirty:
-            dirty_.erase(key);
-            --dirty_count_;
+            dirty_unlink(slot);
             block.state = State::kFlushing;
             break;
           case State::kFetching:
@@ -400,8 +458,7 @@ void BufferCache::flush_complete(const BlockRun& run) {
     if (block.redirtied) {
       block.redirtied = false;
       block.state = State::kDirty;
-      dirty_.insert(key);
-      ++dirty_count_;
+      dirty_link(slot);
     } else {
       block.state = State::kClean;
       lru_push_back(slot);
@@ -414,22 +471,20 @@ std::vector<BlockRun> BufferCache::collect_flush_batch(std::int64_t max_blocks,
                                                        Ticks min_age) {
   std::vector<BlockRun> runs;
   std::int64_t taken = 0;
-  auto cursor = dirty_.begin();
-  while (taken < max_blocks && cursor != dirty_.end()) {
-    const std::uint64_t key = *cursor;
-    const std::uint32_t slot = find_slot(key);
-    assert(slot != kNil && pool_[slot].state == State::kDirty);
-    Block& block = pool_[slot];
+  std::uint32_t cursor = dirty_head_;
+  while (taken < max_blocks && cursor != kNil) {
+    Block& block = pool_[cursor];
+    assert(block.live && block.state == State::kDirty);
+    const std::uint32_t next = block.lru_next;
     if (min_age > Ticks::zero() && block.dirty_since + min_age > now) {
-      ++cursor;  // still younger than the delayed-write threshold
+      cursor = next;  // still younger than the delayed-write threshold
       continue;
     }
-    cursor = dirty_.erase(cursor);
-    --dirty_count_;
+    dirty_unlink(cursor);
     ++taken;
     block.state = State::kFlushing;
-    const std::uint32_t file = file_of(key);
-    const std::int64_t block_no = block_of(key);
+    const std::uint32_t file = file_of(block.key);
+    const std::int64_t block_no = block_of(block.key);
     const bool extends = !runs.empty() && runs.back().file == file &&
                          runs.back().first_block + runs.back().count == block_no &&
                          (max_run_blocks <= 0 || runs.back().count < max_run_blocks);
@@ -438,6 +493,7 @@ std::vector<BlockRun> BufferCache::collect_flush_batch(std::int64_t max_blocks,
     } else {
       runs.push_back({file, block_no, 1});
     }
+    cursor = next;
   }
   return runs;
 }
@@ -452,8 +508,7 @@ std::int64_t BufferCache::invalidate_file(std::uint32_t file) {
         lru_unlink(slot);
         break;
       case State::kDirty:
-        dirty_.erase(block.key);
-        --dirty_count_;
+        dirty_unlink(slot);
         ++cancelled;
         break;
       case State::kFetching:

@@ -8,15 +8,18 @@
 //
 // Storage layout (hot path): blocks live in a slot pool (stable indices,
 // free-list recycled) addressed through an open-addressing hash index, and
-// the clean-LRU list is intrusive — prev/next slot indices inside the block
-// itself. Touching a block on a hit is pointer surgery with zero allocation,
-// where the seed implementation paid an unordered_map node plus a std::list
-// splice per touch.
+// both block lists are intrusive — prev/next slot indices inside the block
+// itself. The clean list is LRU-ordered; the dirty list is kept in ascending
+// (file, block) key order so flush batches coalesce into contiguous runs.
+// A block is on at most one list (Clean and Dirty are disjoint states), so
+// the two share the same pair of link fields. Touching a block on a hit or
+// dirtying an appending write is pointer surgery with zero allocation, where
+// the seed implementation paid an unordered_map node plus a std::list splice
+// per touch and a std::set node per dirtied block.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -121,8 +124,10 @@ class BufferCache {
     std::uint64_t op_id = 0;       ///< fetch op while Fetching
     Ticks dirty_since;             ///< when the block was last made dirty
     std::uint32_t owner = 0;
-    // Intrusive clean-LRU links (slot indices; valid only when Clean) — the
-    // slot doubles as the free-list node via lru_next when dead.
+    // Intrusive list links (slot indices): the clean-LRU list while Clean,
+    // the key-ordered dirty list while Dirty (the states are disjoint, so
+    // one pair of links serves both) — and the slot doubles as the
+    // free-list node via lru_next when dead.
     std::uint32_t lru_prev = kNil;
     std::uint32_t lru_next = kNil;
     State state = State::kClean;
@@ -151,11 +156,18 @@ class BufferCache {
   /// Looks up a live block slot; kNil when absent.
   [[nodiscard]] std::uint32_t find_slot(std::uint64_t key) const;
   void touch_clean(Block& block);
-  void make_dirty(std::uint64_t key, Block& block, std::uint32_t pid);
+  void make_dirty(Block& block, std::uint32_t pid);
   /// Appends a Clean block at the MRU end of the intrusive list.
   void lru_push_back(std::uint32_t slot);
   /// Unlinks a Clean block from the intrusive list.
   void lru_unlink(std::uint32_t slot);
+  /// Inserts a Dirty block into the intrusive dirty list at its ascending
+  /// key position (sequential writes append in O(1) via the tail/hint
+  /// checks) and bumps dirty_count_.
+  void dirty_link(std::uint32_t slot);
+  /// Unlinks a Dirty block from the intrusive dirty list and drops
+  /// dirty_count_.
+  void dirty_unlink(std::uint32_t slot);
   /// Releases a slot back to the free list (after index erase).
   void free_slot(std::uint32_t slot);
   [[nodiscard]] std::uint32_t slot_of(const Block& block) const {
@@ -173,8 +185,13 @@ class BufferCache {
   std::uint32_t lru_tail_ = kNil;        ///< MRU end
   std::int64_t clean_count_ = 0;
   std::int64_t live_count_ = 0;
-  // Dirty blocks ordered by key so flush batches form contiguous runs.
-  std::set<std::uint64_t> dirty_;
+  // Intrusive dirty list, ascending by key so flush batches form contiguous
+  // runs. dirty_hint_ remembers the last insertion point: workloads with
+  // write locality (the common case) link neighbors in O(1) instead of
+  // walking from an end.
+  std::uint32_t dirty_head_ = kNil;
+  std::uint32_t dirty_tail_ = kNil;
+  std::uint32_t dirty_hint_ = kNil;
   std::int64_t dirty_count_ = 0;
   std::unordered_map<std::uint32_t, std::int64_t> owned_;
   // Per-file sequential detector for read-ahead.

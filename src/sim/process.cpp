@@ -3,6 +3,27 @@
 #include "trace/record.hpp"
 
 namespace craysim::sim {
+namespace {
+
+/// The one replay filter: both the vector and streaming sources funnel every
+/// record through here, so their request streams cannot diverge.
+std::optional<workload::Request> replay_request(const trace::TraceRecord& r,
+                                                std::uint32_t process_id) {
+  if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
+    return std::nullopt;
+  }
+  if (process_id != 0 && r.process_id != process_id) return std::nullopt;
+  workload::Request req;
+  req.compute = r.process_time;
+  req.file = r.file_id;
+  req.offset = r.offset;
+  req.length = r.length;
+  req.write = r.is_write();
+  req.async = r.is_async();
+  return req;
+}
+
+}  // namespace
 
 TraceReplaySource::TraceReplaySource(trace::Trace trace, std::uint32_t process_id)
     : TraceReplaySource(std::make_shared<const trace::Trace>(std::move(trace)), process_id) {}
@@ -14,18 +35,19 @@ TraceReplaySource::TraceReplaySource(std::shared_ptr<const trace::Trace> trace,
 std::optional<workload::Request> TraceReplaySource::next() {
   while (pos_ < trace_->size()) {
     const trace::TraceRecord& r = (*trace_)[pos_++];
-    if (r.is_comment() || !r.is_logical() || r.data_class() != trace::DataClass::kFileData) {
-      continue;
-    }
-    if (process_id_ != 0 && r.process_id != process_id_) continue;
-    workload::Request req;
-    req.compute = r.process_time;
-    req.file = r.file_id;
-    req.offset = r.offset;
-    req.length = r.length;
-    req.write = r.is_write();
-    req.async = r.is_async();
-    return req;
+    if (auto req = replay_request(r, process_id_)) return req;
+  }
+  return std::nullopt;
+}
+
+StreamingReplaySource::StreamingReplaySource(std::unique_ptr<trace::RecordSource> records,
+                                             std::uint32_t process_id)
+    : records_(std::move(records)), process_id_(process_id) {}
+
+std::optional<workload::Request> StreamingReplaySource::next() {
+  while (auto record = records_->next()) {
+    ++records_consumed_;
+    if (auto req = replay_request(*record, process_id_)) return req;
   }
   return std::nullopt;
 }

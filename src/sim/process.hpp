@@ -33,4 +33,28 @@ class TraceReplaySource final : public workload::RequestSource {
   std::size_t pos_ = 0;
 };
 
+/// Streaming variant of TraceReplaySource: pulls records on demand from any
+/// trace::RecordSource (text reader, framed binary stream, mmap-backed
+/// reader from trace::open_record_stream) instead of a materialized Trace,
+/// so peak memory during replay is independent of trace size. Record
+/// filtering and request mapping are shared with TraceReplaySource — fed the
+/// same records, the two produce identical request streams, and therefore
+/// identical SimResults.
+class StreamingReplaySource final : public workload::RequestSource {
+ public:
+  /// Replays records of `process_id` (0 = all) pulled from `records`.
+  explicit StreamingReplaySource(std::unique_ptr<trace::RecordSource> records,
+                                 std::uint32_t process_id = 0);
+
+  std::optional<workload::Request> next() override;
+
+  /// Records pulled from the source so far (including filtered-out ones).
+  [[nodiscard]] std::int64_t records_consumed() const { return records_consumed_; }
+
+ private:
+  std::unique_ptr<trace::RecordSource> records_;
+  std::uint32_t process_id_;
+  std::int64_t records_consumed_ = 0;
+};
+
 }  // namespace craysim::sim

@@ -1,7 +1,6 @@
 #include "trace/binary.hpp"
 
-#include <unordered_map>
-
+#include "trace/binary_stream.hpp"
 #include "trace/codec.hpp"
 #include "util/error.hpp"
 
@@ -54,181 +53,26 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
-struct FileState {
-  Bytes next_sequential_offset = 0;
-  Bytes last_length = -1;
-  std::uint32_t last_operation_id = 0;
-  bool has_operation = false;
-};
-
-std::uint64_t file_key(std::uint32_t pid, std::uint32_t file_id) {
-  return (static_cast<std::uint64_t>(pid) << 32) | file_id;
-}
-
 }  // namespace
 
+// The compressed codec is the whole-trace view of the streaming state
+// machines in binary_stream.hpp: one shared encoder/decoder pair means the
+// framed stream's payload and these functions' output cannot drift apart.
 std::vector<std::byte> encode_binary(const Trace& trace) {
   std::vector<std::byte> out;
   out.reserve(trace.size() * 24);
-  bool has_previous = false;
-  Ticks previous_start;
-  std::uint32_t last_pid = 0;
-  std::unordered_map<std::uint32_t, std::uint32_t> last_file_by_process;
-  std::unordered_map<std::uint64_t, FileState> file_states;
-
-  for (const TraceRecord& record : trace) {
-    validate(record);
-    if (record.is_comment()) continue;  // binary dumps carried no comments
-    if (has_previous && record.start_time < previous_start) {
-      throw TraceFormatError("records must be encoded in start-time order");
-    }
-    const std::uint64_t key = file_key(record.process_id, record.file_id);
-    std::uint16_t compression = 0;
-
-    const bool omit_pid = has_previous && record.process_id == last_pid;
-    if (omit_pid) compression |= kNoProcessId;
-    const auto file_it = last_file_by_process.find(record.process_id);
-    const bool omit_file =
-        file_it != last_file_by_process.end() && file_it->second == record.file_id;
-    if (omit_file) compression |= kNoFileId;
-    const auto state_it = file_states.find(key);
-    const FileState* state = state_it != file_states.end() ? &state_it->second : nullptr;
-    const bool omit_op = state != nullptr && state->has_operation &&
-                         state->last_operation_id == record.operation_id;
-    if (omit_op) compression |= kNoOperationId;
-    const bool omit_offset = state != nullptr && record.offset == state->next_sequential_offset;
-    if (omit_offset) compression |= kNoOffset;
-    const bool omit_length = state != nullptr && record.length == state->last_length;
-    if (omit_length) compression |= kNoLength;
-
-    Bytes offset_value = record.offset;
-    if (!omit_offset && offset_value != 0 && offset_value % kTraceBlockSize == 0) {
-      compression |= kOffsetInBlocks;
-      offset_value /= kTraceBlockSize;
-    }
-    Bytes length_value = record.length;
-    if (!omit_length && length_value != 0 && length_value % kTraceBlockSize == 0) {
-      compression |= kLengthInBlocks;
-      length_value /= kTraceBlockSize;
-    }
-    const Ticks start_delta =
-        has_previous ? record.start_time - previous_start : record.start_time;
-
-    put_u16(out, record.record_type);
-    put_u16(out, compression);
-    if (!omit_offset) put_u32(out, static_cast<std::uint64_t>(offset_value), "offset");
-    if (!omit_length) put_u32(out, static_cast<std::uint64_t>(length_value), "length");
-    put_u32(out, static_cast<std::uint64_t>(start_delta.count()), "startTime");
-    put_u32(out, static_cast<std::uint64_t>(record.completion_time.count()), "completionTime");
-    if (!omit_op) put_u32(out, record.operation_id, "operationId");
-    if (!omit_file) put_u32(out, record.file_id, "fileId");
-    if (!omit_pid) put_u32(out, record.process_id, "processId");
-    put_u32(out, static_cast<std::uint64_t>(record.process_time.count()), "processTime");
-
-    has_previous = true;
-    previous_start = record.start_time;
-    last_pid = record.process_id;
-    last_file_by_process[record.process_id] = record.file_id;
-    FileState& fs = file_states[key];
-    fs.next_sequential_offset = record.end();
-    fs.last_length = record.length;
-    fs.last_operation_id = record.operation_id;
-    fs.has_operation = true;
-  }
+  BinaryRecordEncoder encoder;
+  for (const TraceRecord& record : trace) encoder.encode_to(record, out);
   return out;
 }
 
 Trace decode_binary(std::span<const std::byte> data) {
   Trace trace;
-  Cursor cursor(data);
-  bool has_previous = false;
-  Ticks previous_start;
-  std::uint32_t last_pid = 0;
-  bool has_last_pid = false;
-  std::unordered_map<std::uint32_t, std::uint32_t> last_file_by_process;
-  std::unordered_map<std::uint64_t, FileState> file_states;
-
-  while (!cursor.done()) {
-    TraceRecord record;
-    record.record_type = cursor.u16();
-    const std::uint16_t c = cursor.u16();
-    record.compression = c;
-
-    std::optional<Bytes> offset_field;
-    if (!(c & kNoOffset)) {
-      Bytes v = cursor.u32();
-      if (c & kOffsetInBlocks) v *= kTraceBlockSize;
-      offset_field = v;
-    }
-    std::optional<Bytes> length_field;
-    if (!(c & kNoLength)) {
-      Bytes v = cursor.u32();
-      if (c & kLengthInBlocks) v *= kTraceBlockSize;
-      length_field = v;
-    }
-    const Ticks start_delta = Ticks(cursor.u32());
-    record.completion_time = Ticks(cursor.u32());
-    std::optional<std::uint32_t> op_field;
-    if (!(c & kNoOperationId)) op_field = cursor.u32();
-    std::optional<std::uint32_t> file_field;
-    if (!(c & kNoFileId)) file_field = cursor.u32();
-    std::optional<std::uint32_t> pid_field;
-    if (!(c & kNoProcessId)) pid_field = cursor.u32();
-    record.process_time = Ticks(cursor.u32());
-
-    if (pid_field) {
-      record.process_id = *pid_field;
-    } else if (has_last_pid) {
-      record.process_id = last_pid;
-    } else {
-      throw TraceFormatError("binary: TRACE_NO_PROCESSID on first record");
-    }
-    if (file_field) {
-      record.file_id = *file_field;
-    } else {
-      const auto it = last_file_by_process.find(record.process_id);
-      if (it == last_file_by_process.end()) {
-        throw TraceFormatError("binary: TRACE_NO_FILEID with no prior record for process");
-      }
-      record.file_id = it->second;
-    }
-    const std::uint64_t key = file_key(record.process_id, record.file_id);
-    const auto state_it = file_states.find(key);
-    FileState* state = state_it != file_states.end() ? &state_it->second : nullptr;
-    if (op_field) {
-      record.operation_id = *op_field;
-    } else if (state != nullptr && state->has_operation) {
-      record.operation_id = state->last_operation_id;
-    } else {
-      throw TraceFormatError("binary: TRACE_NO_OPERATIONID with no prior record for file");
-    }
-    if (offset_field) {
-      record.offset = *offset_field;
-    } else if (state != nullptr) {
-      record.offset = state->next_sequential_offset;
-    } else {
-      throw TraceFormatError("binary: TRACE_NO_BLOCK with no prior access to file");
-    }
-    if (length_field) {
-      record.length = *length_field;
-    } else if (state != nullptr && state->last_length >= 0) {
-      record.length = state->last_length;
-    } else {
-      throw TraceFormatError("binary: TRACE_NO_LENGTH with no prior access to file");
-    }
-    record.start_time = has_previous ? previous_start + start_delta : start_delta;
-    validate(record);
-
-    has_previous = true;
-    previous_start = record.start_time;
-    has_last_pid = true;
-    last_pid = record.process_id;
-    last_file_by_process[record.process_id] = record.file_id;
-    FileState& fs = file_states[key];
-    fs.next_sequential_offset = record.end();
-    fs.last_length = record.length;
-    fs.last_operation_id = record.operation_id;
-    fs.has_operation = true;
+  BinaryRecordDecoder decoder;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    auto [record, consumed] = decoder.decode(data.subspan(pos));
+    pos += consumed;
     trace.push_back(record);
   }
   return trace;

@@ -3,8 +3,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "trace/binary_stream.hpp"
+#include "trace/mapped_file.hpp"
 #include "util/error.hpp"
 
 namespace craysim::trace {
@@ -65,7 +68,18 @@ std::optional<TraceRecord> decode_with_policy(AsciiTraceDecoder& decoder, std::s
   return std::nullopt;
 }
 
-/// Reads a whole file into memory (the parse then runs zero-copy over it).
+/// The chunked tail of read_file, shared with open_record_stream so the
+/// non-seekable fallback there never has to reopen a FIFO (a second open
+/// could block forever once the writer is gone).
+void append_chunked(std::istream& in, std::string& text) {
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
+    text.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+}
+
+}  // namespace
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open for reading: " + path);
@@ -84,16 +98,11 @@ std::string read_file(const std::string& path) {
     in.clear();
     in.seekg(0);
     in.clear();
-    char chunk[1 << 16];
-    while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
-      text.append(chunk, static_cast<std::size_t>(in.gcount()));
-    }
+    append_chunked(in, text);
   }
   if (in.bad()) throw Error("read failed: " + path);
   return text;
 }
-
-}  // namespace
 
 void TraceWriter::write(const TraceRecord& record) {
   *out_ << encoder_.encode(record) << '\n';
@@ -154,6 +163,12 @@ RecoveredTrace parse_trace_lossy(std::string_view text, const RecoveryOptions& r
 }
 
 RecoveredTrace load_trace_lossy(const std::string& path, const RecoveryOptions& recovery) {
+  // Mapped path first (zero-copy parse over page-cache pages); unmappable
+  // inputs (FIFO, /dev/stdin, size-0 /proc files) take the chunked read.
+  if (auto mapped = MappedFile::open(path)) {
+    mapped->advise_sequential();
+    return parse_trace_lossy(mapped->view(), recovery);
+  }
   const std::string text = read_file(path);
   return parse_trace_lossy(text, recovery);
 }
@@ -167,9 +182,150 @@ void save_trace(const Trace& trace, const std::string& path, std::string_view he
   if (!out) throw Error("write failed: " + path);
 }
 
-Trace load_trace(const std::string& path) {
+Trace load_trace(const std::string& path) { return load_trace_mapped(path); }
+
+Trace load_trace_mapped(const std::string& path) {
+  if (auto mapped = MappedFile::open(path)) {
+    mapped->advise_sequential();
+    return parse_trace(mapped->view());
+  }
   const std::string text = read_file(path);
   return parse_trace(text);
+}
+
+namespace {
+
+// RecordSource wrappers that own their backing storage (mapping, stream, or
+// buffer). Member order matters: the reader is declared after the storage it
+// borrows from so construction and destruction sequence correctly.
+
+class MappedTextSource final : public RecordSource {
+ public:
+  explicit MappedTextSource(MappedFile mapped)
+      : mapped_(std::move(mapped)), reader_(mapped_.view()) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  MappedFile mapped_;
+  TraceTextReader reader_;
+};
+
+class MappedBinarySource final : public RecordSource {
+ public:
+  explicit MappedBinarySource(MappedFile mapped)
+      : mapped_(std::move(mapped)), reader_(mapped_.bytes()) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  MappedFile mapped_;
+  BinaryTraceReader reader_;
+};
+
+class FileTextSource final : public RecordSource {
+ public:
+  explicit FileTextSource(std::unique_ptr<std::ifstream> in)
+      : in_(std::move(in)), reader_(*in_) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  std::unique_ptr<std::ifstream> in_;
+  TraceReader reader_;
+};
+
+class FileBinarySource final : public RecordSource {
+ public:
+  explicit FileBinarySource(std::unique_ptr<std::ifstream> in)
+      : in_(std::move(in)), reader_(*in_) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  std::unique_ptr<std::ifstream> in_;
+  BinaryTraceReader reader_;
+};
+
+class BufferedTextSource final : public RecordSource {
+ public:
+  explicit BufferedTextSource(std::string text)
+      : text_(std::move(text)), reader_(text_) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  std::string text_;
+  TraceTextReader reader_;
+};
+
+class BufferedBinarySource final : public RecordSource {
+ public:
+  explicit BufferedBinarySource(std::string bytes)
+      : bytes_(std::move(bytes)),
+        reader_(std::span(reinterpret_cast<const std::byte*>(bytes_.data()), bytes_.size())) {}
+  [[nodiscard]] std::optional<TraceRecord> next() override { return reader_.next(); }
+
+ private:
+  std::string bytes_;
+  BinaryTraceReader reader_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordSource> open_record_stream(const std::string& path,
+                                                 const StreamOptions& options) {
+  TraceFormat format = options.format;
+
+  if (options.prefer_mmap) {
+    if (auto mapped = MappedFile::open(path)) {
+      mapped->advise_sequential();
+      if (format == TraceFormat::kAuto) {
+        format = starts_with_binary_magic(mapped->bytes()) ? TraceFormat::kBinary
+                                                           : TraceFormat::kText;
+      }
+      if (format == TraceFormat::kBinary) {
+        return std::make_unique<MappedBinarySource>(std::move(*mapped));
+      }
+      return std::make_unique<MappedTextSource>(std::move(*mapped));
+    }
+  }
+
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) throw Error("cannot open for reading: " + path);
+  in->seekg(0, std::ios::end);
+  const auto size = in->tellg();
+  if (size > 0) {
+    // Seekable: sniff one byte (the binary magic's lead byte is non-ASCII,
+    // so no text trace can collide), rewind, and stream through a bounded
+    // buffer — peak memory stays independent of trace size.
+    in->seekg(0);
+    if (format == TraceFormat::kAuto) {
+      char head = 0;
+      in->read(&head, 1);
+      const bool binary =
+          in->gcount() == 1 && static_cast<std::byte>(head) == kBinaryTraceMagic[0];
+      format = binary ? TraceFormat::kBinary : TraceFormat::kText;
+      in->clear();
+      in->seekg(0);
+    }
+    if (format == TraceFormat::kBinary) {
+      return std::make_unique<FileBinarySource>(std::move(in));
+    }
+    return std::make_unique<FileTextSource>(std::move(in));
+  }
+
+  // Non-seekable (FIFO, /dev/stdin) or size-0 special file: a sniff cannot
+  // push bytes back, so buffer the whole input once and stream from memory.
+  in->clear();
+  in->seekg(0);
+  in->clear();
+  std::string text;
+  append_chunked(*in, text);
+  if (in->bad()) throw Error("read failed: " + path);
+  if (format == TraceFormat::kAuto) {
+    format = starts_with_binary_magic(std::string_view(text)) ? TraceFormat::kBinary
+                                                              : TraceFormat::kText;
+  }
+  if (format == TraceFormat::kBinary) {
+    return std::make_unique<BufferedBinarySource>(std::move(text));
+  }
+  return std::make_unique<BufferedTextSource>(std::move(text));
 }
 
 }  // namespace craysim::trace

@@ -1,7 +1,9 @@
-// Stream-level trace I/O: whole traces to/from iostreams or files.
+// Stream-level trace I/O: whole traces to/from iostreams or files, plus the
+// record-at-a-time RecordSource interface streaming readers share.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +20,19 @@ namespace craysim::trace {
 
 /// An in-memory trace: records in start-time order with absolute times.
 using Trace = std::vector<TraceRecord>;
+
+/// A pull-based stream of trace records: the common next() interface of
+/// TraceReader, TraceTextReader, and BinaryTraceReader (binary_stream.hpp).
+/// Consumers that only need one record at a time (sim::StreamingReplaySource,
+/// trace statistics over traces larger than RAM) take this instead of a
+/// materialized Trace.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Next record, or nullopt at end of stream.
+  [[nodiscard]] virtual std::optional<TraceRecord> next() = 0;
+};
 
 /// Writes records (and comments) to a text stream in the wire format.
 class TraceWriter {
@@ -77,14 +92,14 @@ struct RecoveryOptions {
 /// FaultError). A skipped line can strand later compression references; such
 /// lines are themselves skipped and counted, so recovery resynchronizes on
 /// the first line that decodes against the surviving state.
-class TraceReader {
+class TraceReader final : public RecordSource {
  public:
   explicit TraceReader(std::istream& in) : in_(&in) {}
   TraceReader(std::istream& in, const RecoveryOptions& recovery)
       : in_(&in), recovery_(recovery) {}
 
   /// Next record, or nullopt at end of stream.
-  [[nodiscard]] std::optional<TraceRecord> next();
+  [[nodiscard]] std::optional<TraceRecord> next() override;
 
   [[nodiscard]] std::int64_t line_number() const { return line_number_; }
   [[nodiscard]] const AsciiTraceDecoder& decoder() const { return decoder_; }
@@ -104,14 +119,14 @@ class TraceReader {
 /// string_views into the caller's buffer, with no istream and no per-line
 /// copy. Strict/recoverable semantics are identical to TraceReader. The text
 /// must outlive the reader.
-class TraceTextReader {
+class TraceTextReader final : public RecordSource {
  public:
   explicit TraceTextReader(std::string_view text) : text_(text) {}
   TraceTextReader(std::string_view text, const RecoveryOptions& recovery)
       : text_(text), recovery_(recovery) {}
 
   /// Next record, or nullopt at end of text.
-  [[nodiscard]] std::optional<TraceRecord> next();
+  [[nodiscard]] std::optional<TraceRecord> next() override;
 
   [[nodiscard]] std::int64_t line_number() const { return line_number_; }
   [[nodiscard]] const AsciiTraceDecoder& decoder() const { return decoder_; }
@@ -151,8 +166,48 @@ struct RecoveredTrace {
                                               const RecoveryOptions& recovery = {});
 
 /// File variants. Throw craysim::Error on I/O failure.
+///
+/// load_trace (and load_trace_lossy above) route through a read-only mmap of
+/// the file when possible — cold start on a multi-GB trace costs one
+/// mmap(2) and the parse walks string_views over shared page-cache pages —
+/// falling back to the chunked read below for FIFOs, /dev/stdin, and
+/// size-0 /proc inputs. load_trace_mapped is the same routing under its
+/// explicit name.
 void save_trace(const Trace& trace, const std::string& path,
                 std::string_view header_comment = {});
 [[nodiscard]] Trace load_trace(const std::string& path);
+[[nodiscard]] Trace load_trace_mapped(const std::string& path);
+
+/// Reads a whole file into memory, coping with non-seekable inputs (FIFOs,
+/// /dev/stdin) and special files that report size 0 (/proc) by reading in
+/// chunks. The mmap-averse fallback under load_trace*; exposed for callers
+/// that need the raw text. Throws craysim::Error on I/O failure.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// How open_record_stream should interpret the file.
+enum class TraceFormat {
+  kAuto,    ///< sniff: framed binary magic (binary_stream.hpp) vs text
+  kText,    ///< the ASCII wire format
+  kBinary,  ///< the framed streaming binary format
+};
+
+/// Streaming knobs for open_record_stream.
+struct StreamOptions {
+  TraceFormat format = TraceFormat::kAuto;
+
+  /// Map regular files read-only and walk the mapping zero-copy (fastest;
+  /// resident set can grow toward the file size as pages are touched). Set
+  /// false to force bounded-buffer streamed reads — peak RSS independent of
+  /// trace size — for replaying traces larger than memory.
+  bool prefer_mmap = true;
+};
+
+/// Opens `path` as a record-at-a-time stream: a TraceTextReader or
+/// BinaryTraceReader (per `options.format`, sniffed by default) that owns
+/// whatever it needs (mapping or file handle). Non-seekable inputs that
+/// cannot be mapped (FIFOs) are buffered in full. Throws craysim::Error on
+/// I/O failure, TraceFormatError on a binary/text mismatch.
+[[nodiscard]] std::unique_ptr<RecordSource> open_record_stream(const std::string& path,
+                                                               const StreamOptions& options = {});
 
 }  // namespace craysim::trace
