@@ -100,6 +100,7 @@ struct ObsArgs {
   std::string perfetto_sweep_path;
   std::string timeseries_path;
   double counter_interval_ms = 0.0;  ///< 0 = SweepObserver's default
+  std::string listen_addr;  ///< "--listen host:port": live /metrics + /status server
 
   /// Did the user ask for any per-sweep-point recording?
   [[nodiscard]] bool sweep_telemetry() const {
@@ -115,6 +116,7 @@ struct ObsArgs {
     args.perfetto_path = take_value_arg(argc, argv, "--perfetto");
     args.perfetto_sweep_path = take_value_arg(argc, argv, "--perfetto-sweep");
     args.timeseries_path = take_value_arg(argc, argv, "--timeseries");
+    args.listen_addr = take_value_arg(argc, argv, "--listen");
     const std::string interval = take_value_arg(argc, argv, "--counter-interval");
     if (!interval.empty()) args.counter_interval_ms = std::stod(interval);
     return args;
@@ -125,19 +127,21 @@ struct ObsArgs {
 /// "--journal <path>" checkpoints each settled point and resumes a partial
 /// sweep, "--deadline <seconds>" bounds each point with a cooperative
 /// deadline, "--max-attempts <n>" retries failed/timed-out points with
-/// deterministic backoff, and "--chaos-fail <rate>" / "--chaos-seed <n>"
-/// inject synthetic point failures (drills). All absent by default, in which
-/// case the runner takes its legacy bit-identical path.
+/// deterministic backoff, and "--chaos-fail <rate>" / "--chaos-hang <rate>"
+/// / "--chaos-seed <n>" inject synthetic point failures or deadline-length
+/// hangs (drills; a hang requires "--deadline"). All absent by default, in
+/// which case the runner takes its legacy bit-identical path.
 struct ResilienceArgs {
   std::string journal_path;
   double deadline_s = 0.0;
   int max_attempts = 0;  ///< 0 = runner default (no retries)
   double chaos_fail_rate = 0.0;
+  double chaos_hang_rate = 0.0;
   std::uint64_t chaos_seed = 0;  ///< 0 = plan default
 
   [[nodiscard]] bool any() const {
     return !journal_path.empty() || deadline_s > 0.0 || max_attempts > 0 ||
-           chaos_fail_rate > 0.0;
+           chaos_fail_rate > 0.0 || chaos_hang_rate > 0.0;
   }
 
   [[nodiscard]] static ResilienceArgs take(int& argc, char** argv) {
@@ -149,6 +153,8 @@ struct ResilienceArgs {
     if (!attempts.empty()) args.max_attempts = std::stoi(attempts);
     const std::string fail = take_value_arg(argc, argv, "--chaos-fail");
     if (!fail.empty()) args.chaos_fail_rate = std::stod(fail);
+    const std::string hang = take_value_arg(argc, argv, "--chaos-hang");
+    if (!hang.empty()) args.chaos_hang_rate = std::stod(hang);
     const std::string seed = take_value_arg(argc, argv, "--chaos-seed");
     if (!seed.empty()) args.chaos_seed = std::stoull(seed);
     return args;

@@ -92,6 +92,10 @@ int main(int argc, char** argv) {
   const std::vector<double> drop_rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
+  // With resilience flags the simulator sweep below gets its own pool, and
+  // the live plane (one port) belongs to it; otherwise this shared pool
+  // serves both sweeps.
+  if (!res_args.any()) bench::apply_telemetry(obs_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   const std::vector<DropResult> drops = pool.run(drop_rates, [&](double rate) {
     faults::FaultPlan plan;
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
   bench::heading("Fault sweep: simulator under injected disk failures");
   const std::vector<double> error_rates = {0.0, 0.01, 0.05, 0.10};
   bench::SweepObserver sweep_obs(obs_args, error_rates.size());
+  sweep_obs.arm_flight(res_args);
   std::vector<std::size_t> indices(error_rates.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   // The simulator sweep gets its own resilient runner only when a flag asks
@@ -159,6 +164,7 @@ int main(int argc, char** argv) {
   if (res_args.any()) {
     runner::RunnerOptions sim_options = runner_options;
     bench::apply_resilience(res_args, sim_options);
+    bench::apply_telemetry(obs_args, sim_options);
     resilient_pool.emplace(sim_options);
   }
   runner::ExperimentRunner& sim_pool = resilient_pool ? *resilient_pool : pool;
@@ -169,7 +175,7 @@ int main(int argc, char** argv) {
         sim::SimParams params = disk_point_params(error_rates[i]);
         sweep_obs.instrument(i, disk_point_label(error_rates[i]), params);
         return run_disk_with(params);
-      }, codec);
+      }, codec, &sweep_obs);
   TextTable disks({"transient rate %", "wall s", "slowdown %", "transients", "retries",
                    "backoff s", "disks lost"});
   const double base_wall = disk_results[0].total_wall.seconds();

@@ -41,15 +41,17 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   bench::apply_resilience(res_args, runner_options);
+  bench::apply_telemetry(obs_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, 1);
+  sweep_obs.arm_flight(res_args);
   const std::vector<std::size_t> points = {0};
   const bench::SimResultCodec codec([](std::size_t) { return "venus x2, 32 MB cache"; });
   sim::SimResult result = std::move(bench::run_sweep(pool, res_args, points, [&](std::size_t) {
     sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{32} * kMB);
     sweep_obs.instrument(0, "venus x2, 32 MB cache", params);
     return run_with(params);
-  }, codec)[0]);
+  }, codec, &sweep_obs)[0]);
 
   auto rates = result.disk_rate.rates();
   const std::size_t window = std::min<std::size_t>(rates.size(), 200);

@@ -68,8 +68,10 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   bench::apply_resilience(res_args, runner_options);
+  bench::apply_telemetry(obs_args, runner_options);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, points.size());
+  sweep_obs.arm_flight(res_args);
   std::vector<std::size_t> indices(points.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   const bench::SimResultCodec codec([&](std::size_t i) { return point_label(points[i]); });
@@ -77,7 +79,7 @@ int main(int argc, char** argv) {
     sim::SimParams params = point_params(points[i]);
     sweep_obs.instrument(i, point_label(points[i]), params);
     return run_with(params);
-  }, codec);
+  }, codec, &sweep_obs);
 
   TextTable table({"cache MB", "idle s (4K blocks)", "idle s (8K blocks)", "wall s (4K)",
                    "util % (4K)"});

@@ -15,14 +15,18 @@
 // <path>" instruments the real 28-point sweep instead — every point records
 // into its own SpanRecorder and the merged trace shows all of them as
 // labeled process groups; "--timeseries <path>" adds the sim-time counter
-// samples as JSONL ("--counter-interval <ms>" tunes the period). All flags
-// are passive: the sweep's table is byte-identical with and without them.
+// samples as JSONL ("--counter-interval <ms>" tunes the period), and
+// "--listen <host:port>" serves live /metrics (Prometheus), /status (JSON
+// progress/ETA), and /healthz while the sweep runs. All flags are passive:
+// the sweep's table is byte-identical with and without them.
 //
 // Resilience (docs/RESILIENCE.md): "--journal <path>" checkpoints each
 // settled point and resumes a partial sweep byte-identically; "--deadline
-// <s>", "--max-attempts <n>", "--chaos-fail <rate>" / "--chaos-seed <n>"
-// bound, retry, and chaos-test the points. Absent flags keep the runner on
-// its legacy bit-identical path.
+// <s>", "--max-attempts <n>", "--chaos-fail <rate>" / "--chaos-hang <rate>"
+// / "--chaos-seed <n>" bound, retry, and chaos-test the points. A journaled
+// sweep with a deadline also arms the flight recorder: timed-out points
+// dump their last span/counter events to <journal>.flight.json. Absent
+// flags keep the runner on its legacy bit-identical path.
 #include <cstdio>
 #include <numeric>
 #include <vector>
@@ -89,8 +93,10 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   bench::apply_resilience(res_args, runner_options);
+  bench::apply_telemetry(obs_args, runner_options, &registry);
   runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, points.size());
+  sweep_obs.arm_flight(res_args);
   std::vector<std::size_t> indices(points.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   const bench::DoubleCodec codec([&](std::size_t i) { return point_label(points[i]); });
@@ -101,7 +107,7 @@ int main(int argc, char** argv) {
       sim::SimParams params = point_params(points[i]);
       sweep_obs.instrument(i, point_label(points[i]), params);
       return run_point(points[i], params).cpu_utilization();
-    }, codec);
+    }, codec, &sweep_obs);
   }
   if (!sweep_obs.finish()) return 1;
   const auto util_of = [&](workload::AppId app, std::size_t policy) {

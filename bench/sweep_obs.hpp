@@ -25,10 +25,14 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sanitize.hpp"
 #include "obs/span_pool.hpp"
 #include "runner/runner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/params.hpp"
+#include "util/atomic_file.hpp"
 #include "util/digest.hpp"
 
 namespace craysim::bench {
@@ -46,17 +50,80 @@ class SweepObserver {
   [[nodiscard]] bool enabled() const { return pool_.enabled(); }
   [[nodiscard]] obs::SpanRecorderPool& pool() { return pool_; }
 
+  /// Arms the deadline flight recorder (docs/OBSERVABILITY.md): one bounded
+  /// ring per point, filled by a span tee while the point runs, dumped to
+  /// `<journal>.flight.json` by dump_flight() when any point times out.
+  /// Armed only for journaled sweeps with a deadline — the combination
+  /// where a timed-out point would otherwise leave no evidence behind.
+  void arm_flight(const ResilienceArgs& res) {
+    if (res.journal_path.empty() || res.deadline_s <= 0.0) return;
+    flight_path_ = res.journal_path + ".flight.json";
+    flight_deadline_s_ = res.deadline_s;
+    flights_ = std::vector<obs::FlightRecorder>(pool_.size());
+    flight_labels_.resize(pool_.size());
+    if (!pool_.enabled()) flight_spans_ = std::vector<obs::SpanRecorder>(pool_.size());
+  }
+
+  [[nodiscard]] bool flight_armed() const { return !flights_.empty(); }
+
   /// Claims point `index`'s recorder and wires it — plus the counter
   /// sampling interval — into `params`. No-op when sweep telemetry is off
-  /// (params keeps its null spans default, so the claim path reads no
-  /// clocks and the simulation does zero telemetry work).
+  /// and no flight ring is armed (params keeps its null spans default, so
+  /// the claim path reads no clocks and the simulation does zero telemetry
+  /// work). With a flight ring armed but Perfetto export off, the point gets
+  /// a constant-memory flight-only recorder instead (events tee into the
+  /// ring and are not retained).
   void instrument(std::size_t index, std::string label, sim::SimParams& params) {
+    if (flight_armed() && index < flight_labels_.size()) flight_labels_[index] = label;
     obs::SpanRecorder* recorder = pool_.claim(index, std::move(label));
-    if (recorder == nullptr) return;
+    if (recorder == nullptr) {
+      if (!flight_armed() || index >= flight_spans_.size()) return;
+      recorder = &flight_spans_[index];
+      recorder->set_flight(&flights_[index], /*keep_events=*/false);
+    } else if (flight_armed() && index < flights_.size()) {
+      recorder->set_flight(&flights_[index]);
+    }
     params.spans = recorder;
     const double ms =
         args_.counter_interval_ms > 0.0 ? args_.counter_interval_ms : kDefaultCounterIntervalMs;
     params.counter_interval = Ticks::from_ms(ms);
+  }
+
+  /// Writes `<journal>.flight.json` (atomically) when the flight ring is
+  /// armed and at least one point settled as timed out: one record per
+  /// timed-out point with its outcome and the tail of its recording. Points
+  /// that never reached their own simulation (a chaos hang cancelled before
+  /// the body ran) appear with an empty event tail — the outcome fields
+  /// still say what happened. No-op otherwise.
+  void dump_flight(const std::vector<runner::PointOutcome>& outcomes) {
+    if (!flight_armed()) return;
+    std::size_t timed_out = 0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.status == runner::PointStatus::kTimedOut) ++timed_out;
+    }
+    if (timed_out == 0) return;
+    std::ostringstream out;
+    out << "{\"craysim_flight\":1,\"deadline_s\":" << flight_deadline_s_
+        << ",\"capacity\":" << obs::FlightRecorder::kDefaultCapacity << ",\"points\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < outcomes.size() && i < flights_.size(); ++i) {
+      if (outcomes[i].status != runner::PointStatus::kTimedOut) continue;
+      if (!first) out << ",";
+      first = false;
+      const std::string& label =
+          flight_labels_[i].empty() ? "point " + std::to_string(i) : flight_labels_[i];
+      out << "{\"point\":" << i << ",\"label\":\"" << obs::json_escape(label)
+          << "\",\"status\":\"" << runner::point_status_name(outcomes[i].status)
+          << "\",\"attempts\":" << outcomes[i].attempts
+          << ",\"backoff_ns\":" << outcomes[i].backoff_ns << ",\"error\":\""
+          << obs::json_escape(outcomes[i].error) << "\",";
+      flights_[i].write_json_events(out);
+      out << "}";
+    }
+    out << "]}\n";
+    util::write_file_atomic(flight_path_, out.str());
+    std::printf("wrote flight recording (%zu timed-out points) to %s\n", timed_out,
+                flight_path_.c_str());
   }
 
   /// Validates every recording and writes the requested artifacts. Returns
@@ -84,6 +151,15 @@ class SweepObserver {
  private:
   ObsArgs args_;
   obs::SpanRecorderPool pool_;
+
+  // Flight-recorder state; all empty until arm_flight(). The vectors are
+  // sized once (never reallocated mid-sweep — workers hold pointers into
+  // them) and each slot is touched only by the worker running that point.
+  std::string flight_path_;
+  double flight_deadline_s_ = 0.0;
+  std::vector<obs::FlightRecorder> flights_;
+  std::vector<obs::SpanRecorder> flight_spans_;  ///< flight-only probes (Perfetto off)
+  std::vector<std::string> flight_labels_;
 };
 
 /// Single-point "--perfetto" support shared by the benches: re-runs one
@@ -122,7 +198,20 @@ inline void apply_resilience(const ResilienceArgs& args, runner::RunnerOptions& 
   }
   if (args.max_attempts > 0) options.max_attempts = args.max_attempts;
   if (args.chaos_fail_rate > 0.0) options.chaos.fail_rate = args.chaos_fail_rate;
+  if (args.chaos_hang_rate > 0.0) options.chaos.hang_rate = args.chaos_hang_rate;
   if (args.chaos_seed != 0) options.chaos.seed = args.chaos_seed;
+}
+
+/// Maps the ObsArgs live-plane flag onto RunnerOptions: "--listen" starts
+/// the runner's embedded /metrics + /status server, with `metrics` (usually
+/// the bench's accumulating registry) folded into every /metrics scrape.
+/// Absent flag changes nothing — the options stay bit-identical and no
+/// server thread exists.
+inline void apply_telemetry(const ObsArgs& args, runner::RunnerOptions& options,
+                            obs::MetricsRegistry* metrics = nullptr) {
+  if (args.listen_addr.empty()) return;
+  options.listen_addr = args.listen_addr;
+  options.metrics = metrics;
 }
 
 /// Journal input-identity digest for a sweep point, from its human-readable
@@ -186,11 +275,21 @@ class SimResultCodec {
 /// the runner takes its legacy path and the printed output is byte-identical
 /// to pool.run. Failed points are reported to stderr (with their resilience
 /// status) and exit the bench with status 1 instead of throwing out of main.
+/// With an observer whose flight ring is armed, the flight dump is written
+/// before any failure exit — a sweep that dies of timeouts still leaves its
+/// evidence behind.
 template <typename Point, typename Fn, typename Codec>
 [[nodiscard]] auto run_sweep(runner::ExperimentRunner& pool, const ResilienceArgs& res,
-                             const std::vector<Point>& points, Fn&& fn, const Codec& codec)
+                             const std::vector<Point>& points, Fn&& fn, const Codec& codec,
+                             SweepObserver* obs = nullptr)
     -> std::vector<runner::detail::point_value_t<Fn, Point>> {
   auto settled = pool.run_settled(points, std::forward<Fn>(fn), codec);
+  if (obs != nullptr && obs->flight_armed()) {
+    std::vector<runner::PointOutcome> outcomes;
+    outcomes.reserve(settled.size());
+    for (const auto& point : settled) outcomes.push_back(point.outcome);
+    obs->dump_flight(outcomes);
+  }
   if (res.any()) {
     std::int64_t attempts = 0;
     std::int64_t restored = 0;

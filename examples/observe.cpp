@@ -10,6 +10,12 @@
 //
 //   observe [--metrics <path>] [--perfetto <path>]
 //           [--sweep-perfetto <path>] [--timeseries <path>]
+//           [--listen <host:port>]
+//
+// With --listen, the cache-size sweep runs with the live telemetry plane on
+// and the example scrapes its own /healthz, /metrics, and /status endpoints
+// afterward, validating the live plane end to end (pass "--listen
+// 127.0.0.1:0" for an ephemeral port).
 //
 // Exits nonzero if any span recording fails its consistency check or an
 // artifact cannot be written — CI runs this as the telemetry smoke test.
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "faults/fault.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/span.hpp"
@@ -52,6 +59,7 @@ int main(int argc, char** argv) {
   std::string perfetto_path = "observe_trace.json";
   std::string sweep_perfetto_path = "observe_sweep.json";
   std::string timeseries_path = "observe_timeseries.jsonl";
+  std::string listen_addr;
   for (int i = 1; i < argc; i += 2) {
     const std::string_view flag = argv[i];
     if (flag == "--metrics" && i + 1 < argc) {
@@ -62,10 +70,13 @@ int main(int argc, char** argv) {
       sweep_perfetto_path = argv[i + 1];
     } else if (flag == "--timeseries" && i + 1 < argc) {
       timeseries_path = argv[i + 1];
+    } else if (flag == "--listen" && i + 1 < argc) {
+      listen_addr = argv[i + 1];
     } else {
       std::fprintf(stderr,
                    "usage: observe [--metrics <path>] [--perfetto <path>]\n"
-                   "               [--sweep-perfetto <path>] [--timeseries <path>]\n");
+                   "               [--sweep-perfetto <path>] [--timeseries <path>]\n"
+                   "               [--listen <host:port>]\n");
       return 2;
     }
   }
@@ -145,7 +156,15 @@ int main(int argc, char** argv) {
   obs::SpanRecorderPool sweep_pool(cache_mbs.size(), /*enabled=*/true);
   runner::RunnerOptions sweep_options = runner::RunnerOptions::from_env();
   sweep_options.collect_telemetry = true;
+  if (!listen_addr.empty()) {
+    sweep_options.listen_addr = listen_addr;
+    sweep_options.metrics = &registry;
+  }
   runner::ExperimentRunner sweep_runner(sweep_options);
+  if (const obs::TelemetryServer* server = sweep_runner.telemetry_server()) {
+    std::printf("   live telemetry plane on http://%s (/metrics /status /healthz)\n",
+                server->address().c_str());
+  }
   std::vector<double> sweep_utils;
   {
     const auto scope = phases.scope("sweep");
@@ -163,6 +182,31 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < cache_mbs.size(); ++i) {
     std::printf("   %s: %.1f%% utilization, %zu span events\n", sweep_pool.label(i).c_str(),
                 100.0 * sweep_utils[i], sweep_pool.recorder(i)->size());
+  }
+
+  // 5b. Self-scrape the live plane: all three endpoints must answer, the
+  //     exposition must carry the runner's families, and /status must report
+  //     the sweep fully settled.
+  if (const obs::TelemetryServer* server = sweep_runner.telemetry_server()) {
+    std::printf("\n5b. scraping the live telemetry plane...\n");
+    try {
+      const auto health = obs::http_get("127.0.0.1", server->port(), "/healthz");
+      const auto metrics = obs::http_get("127.0.0.1", server->port(), "/metrics");
+      const auto status = obs::http_get("127.0.0.1", server->port(), "/status");
+      const bool live_ok = health.status == 200 && health.body == "ok\n" &&
+                           metrics.status == 200 &&
+                           metrics.body.find("# TYPE runner_points counter") !=
+                               std::string::npos &&
+                           status.status == 200 &&
+                           status.body.find("\"total\":3,\"settled\":3") != std::string::npos;
+      std::printf("   /healthz %d, /metrics %d (%zu bytes), /status %d (%zu bytes): %s\n",
+                  health.status, metrics.status, metrics.body.size(), status.status,
+                  status.body.size(), live_ok ? "ok" : "FAILED");
+      if (!live_ok) return 1;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "live plane scrape FAILED: %s\n", e.what());
+      return 1;
+    }
   }
 
   // 6. Validate and write all artifacts.

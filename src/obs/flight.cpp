@@ -1,0 +1,65 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/sanitize.hpp"
+
+namespace craysim::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  slots_.reserve(std::min<std::size_t>(capacity_, 64));
+}
+
+void FlightRecorder::note(const SpanRecorder::Event& event) {
+  if (event.ph == 'M') return;
+  note(event.ts, event.ph, event.name,
+       event.ph == 'X' ? event.dur : (event.args.empty() ? 0 : event.args[0].value));
+}
+
+void FlightRecorder::note(std::int64_t t_us, char ph, std::string name, std::int64_t value) {
+  ++total_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back({t_us, ph, std::move(name), value});
+    return;
+  }
+  slots_[next_] = {t_us, ph, std::move(name), value};
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t FlightRecorder::size() const { return slots_.size(); }
+
+std::int64_t FlightRecorder::dropped() const {
+  return total_ - static_cast<std::int64_t>(slots_.size());
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  // Once the ring wrapped, next_ points at the oldest entry.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out.push_back(slots_[(next_ + i) % slots_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::write_json_events(std::ostream& out) const {
+  out << "\"dropped\":" << dropped() << ",\"events\":[";
+  bool first = true;
+  for (const Entry& entry : entries()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"t_us\":" << entry.t_us << ",\"ph\":\"" << entry.ph << "\",\"name\":\""
+        << json_escape(entry.name) << "\",\"value\":" << entry.value << "}";
+  }
+  out << "]";
+}
+
+void FlightRecorder::clear() {
+  slots_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace craysim::obs

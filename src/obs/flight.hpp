@@ -1,0 +1,74 @@
+// Deadline flight recorder: a bounded ring of the most recent span/counter
+// events of one in-flight sweep point.
+//
+// A point that hits its deadline (or has a chaos hang cancelled) leaves no
+// Perfetto trace — the recording that would explain the timeout is exactly
+// the part that never finished. The flight ring keeps the last N events
+// (default 256) at O(1) cost per event and constant memory, so when the
+// runner settles the point as timed out, the bench can dump the tail to
+// `<journal>.flight.json` and the timeout is debuggable instead of silent.
+//
+// Events arrive through SpanRecorder::set_flight: the simulator keeps
+// emitting through its normal SpanRecorder hooks, and the recorder tees a
+// compact copy of each event (timestamp, phase, name, first argument) into
+// the ring — optionally discarding its own unbounded event vector, so a
+// flight-only recording costs no growing allocation. A ring is written and
+// later read by the worker thread that runs the point (retries of one point
+// execute sequentially on one worker), and dumped by the calling thread
+// after the sweep settles; no internal locking is needed or provided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace craysim::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Compact copy of one recorded event. `value` is the first argument (or
+  /// the duration for X events) — enough to read a counter or request size
+  /// off the tail without storing full argument lists.
+  struct Entry {
+    std::int64_t t_us = 0;
+    char ph = 'B';
+    std::string name;
+    std::int64_t value = 0;
+  };
+
+  /// Appends one event, evicting the oldest when full. Metadata ('M')
+  /// events carry no timestamp and are skipped.
+  void note(const SpanRecorder::Event& event);
+  void note(std::int64_t t_us, char ph, std::string name, std::int64_t value = 0);
+
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Events evicted to make room — how much history scrolled off the ring.
+  [[nodiscard]] std::int64_t dropped() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Held entries, oldest first.
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// `"dropped":N,"events":[{"t_us":..,"ph":"B","name":"..","value":..},..]`
+  /// — the per-point fragment of a flight dump (names JSON-escaped).
+  void write_json_events(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> slots_;     ///< ring storage, grows up to capacity_
+  std::size_t next_ = 0;         ///< overwrite cursor once full
+  std::int64_t total_ = 0;       ///< events ever noted
+};
+
+}  // namespace craysim::obs

@@ -1,0 +1,237 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace craysim::obs {
+
+namespace {
+
+/// "host:port" or bare "port"; host defaults to loopback. Numeric IPv4 only.
+void parse_listen_address(const std::string& address, in_addr& host, std::uint16_t& port) {
+  std::string host_text = "127.0.0.1";
+  std::string port_text = address;
+  const std::size_t colon = address.rfind(':');
+  if (colon != std::string::npos) {
+    host_text = address.substr(0, colon);
+    port_text = address.substr(colon + 1);
+    if (host_text.empty()) host_text = "127.0.0.1";
+    if (host_text == "localhost") host_text = "127.0.0.1";
+  }
+  const auto parsed = parse_int(port_text);
+  if (!parsed || *parsed < 0 || *parsed > 65535) {
+    throw ConfigError("telemetry server: bad port in listen address '" + address + "'");
+  }
+  port = static_cast<std::uint16_t>(*parsed);
+  if (inet_pton(AF_INET, host_text.c_str(), &host) != 1) {
+    throw ConfigError("telemetry server: bad IPv4 host in listen address '" + address + "'");
+  }
+}
+
+void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string http_response(int status, const char* reason, const std::string& content_type,
+                          std::string_view body) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  head.append(body);
+  return head;
+}
+
+}  // namespace
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::handle(std::string path, std::string content_type, Handler handler) {
+  if (running()) throw ConfigError("telemetry server: handle() after start()");
+  endpoints_.push_back({std::move(path), std::move(content_type), std::move(handler)});
+}
+
+void TelemetryServer::start(const std::string& address) {
+  if (running()) throw ConfigError("telemetry server: already started");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  parse_listen_address(address, addr.sin_addr, port_);
+  addr.sin_port = htons(port_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("telemetry server: socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string what = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("telemetry server: cannot listen on " + address + ": " + what);
+  }
+  // Resolve an ephemeral port (and the actual bound host) for address().
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+    char host[INET_ADDRSTRLEN] = {};
+    inet_ntop(AF_INET, &bound.sin_addr, host, sizeof host);
+    address_ = std::string(host) + ":" + std::to_string(port_);
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::serve_loop() {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);  // 100 ms stop-flag granularity
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    set_socket_timeouts(client, std::chrono::seconds(2));
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::serve_one(int client) {
+  // Read until the header terminator (we ignore bodies — every endpoint is a
+  // GET) or a modest cap; a slow client runs into the socket timeout.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos && request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // not even a request line
+
+  // "METHOD /path[?query] HTTP/1.x"
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(client, http_response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET" && method != "HEAD") {
+    send_all(client, http_response(405, "Method Not Allowed", "text/plain",
+                                   "only GET is supported\n"));
+    return;
+  }
+  for (const Endpoint& endpoint : endpoints_) {
+    if (endpoint.path != path) continue;
+    std::string body;
+    try {
+      body = endpoint.handler();
+    } catch (const std::exception& e) {
+      send_all(client, http_response(500, "Internal Server Error", "text/plain",
+                                     std::string(e.what()) + "\n"));
+      return;
+    }
+    // HEAD answers with the headers a GET would produce (real
+    // Content-Length) and no payload.
+    std::string response = http_response(200, "OK", endpoint.content_type, body);
+    if (method == "HEAD") response.resize(response.size() - body.size());
+    send_all(client, response);
+    return;
+  }
+  send_all(client, http_response(404, "Not Found", "text/plain",
+                                 "no such endpoint: " + path + "\n"));
+}
+
+HttpResponse http_get(const std::string& host, std::uint16_t port, const std::string& path,
+                      std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string host_text = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, host_text.c_str(), &addr.sin_addr) != 1) {
+    throw ConfigError("http_get: bad IPv4 host '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("http_get: socket(): " + std::string(strerror(errno)));
+  set_socket_timeouts(fd, timeout);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string what = strerror(errno);
+    ::close(fd);
+    throw Error("http_get: cannot connect to " + host + ":" + std::to_string(port) + ": " + what);
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host_text +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    throw Error("http_get: send failed");
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse result;
+  // "HTTP/1.1 NNN reason\r\n...\r\n\r\nbody"
+  const std::size_t sp = response.find(' ');
+  if (sp != std::string::npos) {
+    const auto status = parse_int(response.substr(sp + 1, 3));
+    if (status) result.status = static_cast<int>(*status);
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body != std::string::npos) result.body = response.substr(body + 4);
+  if (result.status == 0) throw Error("http_get: malformed response from " + host);
+  return result;
+}
+
+}  // namespace craysim::obs

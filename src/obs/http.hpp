@@ -1,0 +1,94 @@
+// Dependency-free POSIX-socket HTTP server for the live telemetry plane.
+//
+// One listener socket, one accept thread, one request per connection
+// (HTTP/1.1 with Connection: close) — deliberately minimal, because its only
+// job is serving /metrics, /status, and /healthz scrapes while a sweep runs.
+// Handlers are plain body-producing callbacks registered before start();
+// they execute on the server thread concurrently with the workload, so they
+// must be thread-safe (the runner's handlers only read atomics and
+// mutex-guarded registries).
+//
+// Lifecycle: handle() any number of endpoints, start("host:port") — port 0
+// binds an ephemeral port, reported by port()/address() so tests never race
+// over a fixed one — then stop() (idempotent, joins the thread; the
+// destructor calls it). Slow or stuck clients cannot wedge the server: every
+// connection gets short socket timeouts and is closed after one response.
+//
+// IPv4 only, by design: the plane binds loopback (or an explicit interface)
+// on one machine; cross-host aggregation is a scraper's job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace craysim::obs {
+
+class TelemetryServer {
+ public:
+  /// Produces the response body for one endpoint. Runs on the server thread.
+  using Handler = std::function<std::string()>;
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Registers `path` (exact match, query string ignored) before start().
+  void handle(std::string path, std::string content_type, Handler handler);
+
+  /// Binds and starts serving. `address` is "host:port" or bare "port"
+  /// (host defaults to 127.0.0.1); numeric IPv4 hosts only. Port 0 binds an
+  /// ephemeral port. Throws craysim::Error on parse/bind failure.
+  void start(const std::string& address);
+
+  /// Stops accepting, joins the server thread, closes the socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the kernel's choice). 0 before start.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// "ip:port" as bound; empty before start.
+  [[nodiscard]] const std::string& address() const { return address_; }
+  /// Requests answered so far (any status) — cheap liveness signal for tests.
+  [[nodiscard]] std::int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Endpoint {
+    std::string path;
+    std::string content_type;
+    Handler handler;
+  };
+
+  void serve_loop();
+  void serve_one(int client);
+
+  std::vector<Endpoint> endpoints_;  ///< immutable once start() ran
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string address_;
+};
+
+/// Minimal blocking HTTP/1.x GET against a local server — the client half
+/// used by tests and self-scraping examples. Returns the parsed status code
+/// and body; throws craysim::Error on connect/transport failure.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+[[nodiscard]] HttpResponse http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& path,
+                                    std::chrono::milliseconds timeout = std::chrono::seconds(5));
+
+}  // namespace craysim::obs

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/sanitize.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
@@ -12,25 +13,12 @@ namespace craysim::obs {
 
 namespace {
 
-/// Formats a double compactly but losslessly enough for telemetry (9
-/// significant digits), with a deterministic representation across runs.
-std::string format_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  return buf;
-}
-
-/// Metric names are craysim-internal dotted identifiers, but escape the two
-/// JSON-breaking characters anyway so a stray name cannot corrupt the file.
-std::string escape(std::string_view name) {
-  std::string out;
-  out.reserve(name.size());
-  for (const char c : name) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+// Metric names are craysim-internal dotted identifiers; the shared obs
+// sanitize module (also used by the Prometheus exposition and /status JSON)
+// escapes the JSON-breaking characters so a stray name cannot corrupt the
+// file. Kept as local aliases so the export code below reads naturally.
+const auto& format_double = format_metric_double;
+const auto& escape = json_escape;
 
 }  // namespace
 
@@ -60,6 +48,13 @@ Histogram::Summary Histogram::summarize() const {
   s.p90 = quantile(0.90);
   s.p99 = quantile(0.99);
   return s;
+}
+
+std::vector<double> Histogram::samples_sorted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 MetricsRegistry::Entry& MetricsRegistry::lookup(std::string_view name, Kind kind) {
@@ -134,6 +129,33 @@ std::vector<std::string> MetricsRegistry::metric_names() const {
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::sample() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    Sample s;
+    s.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.kind = Sample::Kind::kCounter;
+        s.count = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        s.kind = Sample::Kind::kGauge;
+        s.value = entry.gauge->value();
+        break;
+      case Kind::kHistogram:
+        s.kind = Sample::Kind::kHistogram;
+        s.summary = entry.histogram->summarize();
+        s.samples = entry.histogram->samples_sorted();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 std::size_t MetricsRegistry::size() const {

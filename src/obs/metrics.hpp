@@ -56,6 +56,10 @@ class Histogram {
   };
   [[nodiscard]] Summary summarize() const;
 
+  /// Point-in-time copy of the recorded samples, sorted ascending. The
+  /// Prometheus exposition derives its cumulative buckets from this.
+  [[nodiscard]] std::vector<double> samples_sorted() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<double> samples_;
@@ -86,6 +90,24 @@ class MetricsRegistry {
   /// Sorted metric names (golden-schema tests pin this list).
   [[nodiscard]] std::vector<std::string> metric_names() const;
   [[nodiscard]] std::size_t size() const;
+
+  /// One exported metric, decoupled from the live registry entry. `kind`
+  /// selects which of the value fields is meaningful.
+  struct Sample {
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::int64_t count = 0;            ///< counter value
+    double value = 0.0;                ///< gauge value
+    Histogram::Summary summary;        ///< histogram percentile summary
+    std::vector<double> samples;       ///< histogram samples, sorted ascending
+  };
+
+  /// Point-in-time copy of every metric, sorted by name — the exporter-facing
+  /// view used by the Prometheus text exposition (promtext.hpp). Thread-safe
+  /// against concurrent metric updates, so a live /metrics scrape can render
+  /// while ExperimentRunner workers publish.
+  [[nodiscard]] std::vector<Sample> sample() const;
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

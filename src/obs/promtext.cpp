@@ -1,0 +1,122 @@
+#include "obs/promtext.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace craysim::obs {
+
+namespace {
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+void family_header(std::ostream& out, const std::string& family, const std::string& original,
+                   const char* kind, const char* type) {
+  out << "# HELP " << family << " craysim " << kind << " '" << escape_help(original) << "'\n";
+  out << "# TYPE " << family << " " << type << "\n";
+}
+
+/// Claims `family` (and, for histograms, its derived sample names) in the
+/// dedup state. Returns false when a previous registry already emitted it.
+bool claim_family(PromRenderState* state, const std::string& family) {
+  if (state == nullptr) return true;
+  return state->families.insert(family).second;
+}
+
+void write_histogram(std::ostream& out, const MetricsRegistry::Sample& metric,
+                     const std::string& family) {
+  double sum = 0.0;
+  for (const double v : metric.samples) sum += v;
+
+  family_header(out, family, metric.name, "histogram", "histogram");
+  std::vector<double> bounds;
+  if (!metric.samples.empty()) {
+    bounds = prom_bucket_bounds(metric.samples.front(), metric.samples.back());
+  }
+  std::size_t cursor = 0;
+  for (const double bound : bounds) {
+    // Samples are sorted, so the cumulative count at `le` is one scan.
+    while (cursor < metric.samples.size() && metric.samples[cursor] <= bound) ++cursor;
+    out << family << "_bucket{le=\"" << format_metric_double(bound) << "\"} " << cursor << "\n";
+  }
+  out << family << "_bucket{le=\"+Inf\"} " << metric.samples.size() << "\n";
+  out << family << "_sum " << format_metric_double(sum) << "\n";
+  out << family << "_count " << metric.samples.size() << "\n";
+
+  const std::string quantiles = family + "_quantiles";
+  family_header(out, quantiles, metric.name, "histogram quantiles of", "summary");
+  out << quantiles << "{quantile=\"0.5\"} " << format_metric_double(metric.summary.p50) << "\n";
+  out << quantiles << "{quantile=\"0.9\"} " << format_metric_double(metric.summary.p90) << "\n";
+  out << quantiles << "{quantile=\"0.99\"} " << format_metric_double(metric.summary.p99) << "\n";
+  out << quantiles << "_sum " << format_metric_double(sum) << "\n";
+  out << quantiles << "_count " << metric.samples.size() << "\n";
+}
+
+}  // namespace
+
+std::vector<double> prom_bucket_bounds(double min_value, double max_value) {
+  std::vector<double> bounds;
+  if (min_value <= 0.0) bounds.push_back(0.0);
+  // 1-2-5 ladder over [1e-9, 5e12]; keep the rungs that bracket the data:
+  // from the largest rung <= min (anchoring the ladder just below the data)
+  // through the smallest rung >= max.
+  static constexpr double kMantissas[3] = {1.0, 2.0, 5.0};
+  double below_min = 0.0;  // largest rung <= min_value seen so far
+  double decade = 1e-9;
+  for (int e = -9; e <= 12; ++e, decade *= 10.0) {
+    for (const double m : kMantissas) {
+      const double rung = m * decade;
+      if (rung <= min_value) {
+        below_min = rung;
+        continue;
+      }
+      if (below_min > 0.0) {
+        bounds.push_back(below_min);
+        below_min = 0.0;
+      }
+      bounds.push_back(rung);
+      if (rung >= max_value) return bounds;
+    }
+  }
+  if (below_min > 0.0) bounds.push_back(below_min);  // all samples above the ladder
+  return bounds;
+}
+
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry,
+                      PromRenderState* state) {
+  for (const MetricsRegistry::Sample& metric : registry.sample()) {
+    const std::string family = prom_sanitize_name(metric.name);
+    if (!claim_family(state, family)) continue;
+    switch (metric.kind) {
+      case MetricsRegistry::Sample::Kind::kCounter:
+        family_header(out, family, metric.name, "counter", "counter");
+        out << family << " " << metric.count << "\n";
+        break;
+      case MetricsRegistry::Sample::Kind::kGauge:
+        family_header(out, family, metric.name, "gauge", "gauge");
+        out << family << " " << format_metric_double(metric.value) << "\n";
+        break;
+      case MetricsRegistry::Sample::Kind::kHistogram:
+        write_histogram(out, metric, family);
+        break;
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  return out.str();
+}
+
+}  // namespace craysim::obs

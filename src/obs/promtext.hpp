@@ -1,0 +1,55 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// MetricsRegistry — the /metrics half of the live telemetry plane.
+//
+// Mapping from craysim's dotted metric names to Prometheus families:
+//  * names pass through prom_sanitize_name ("runner.points" ->
+//    "runner_points"); the HELP line records the original dotted name, so a
+//    scrape can always be traced back to the JSONL schema;
+//  * counters/gauges become one sample each with the matching TYPE;
+//  * histograms become a `histogram` family with cumulative `_bucket{le=}`
+//    samples on a deterministic 1-2-5 ladder spanning the data (plus +Inf),
+//    `_sum`, and `_count`, and a sibling `<name>_quantiles` `summary` family
+//    carrying the exact p50/p90/p99 the registry already computes.
+//
+// Families are emitted in registry (name-sorted) order, each exactly once —
+// a PromRenderState threaded across several write_prometheus calls (the
+// runner's live scrape renders its own tallies plus the caller's registry)
+// suppresses duplicate families so the exposition stays promlint-valid.
+// `tools/validate_telemetry.py --prom` structurally checks the output.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sanitize.hpp"
+
+namespace craysim::obs {
+
+/// Dedup state for a multi-registry exposition: family names already
+/// emitted. Reuse one instance across write_prometheus calls that feed the
+/// same scrape response.
+struct PromRenderState {
+  std::set<std::string> families;
+};
+
+/// Cumulative-bucket upper bounds for a histogram over [min, max]: a 1-2-5
+/// geometric ladder trimmed to the data range (a 0 bound is prepended when
+/// min <= 0). The +Inf bucket is implied by the renderer, not included here.
+/// Exposed so tests can pin the layout.
+[[nodiscard]] std::vector<double> prom_bucket_bounds(double min_value, double max_value);
+
+/// Renders every metric in `registry` as Prometheus text exposition. With a
+/// PromRenderState, families whose sanitized name was already emitted (by an
+/// earlier call sharing the state) are skipped.
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry,
+                      PromRenderState* state = nullptr);
+
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+/// The Content-Type the text exposition should be served with.
+inline constexpr const char* kPromContentType = "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace craysim::obs

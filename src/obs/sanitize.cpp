@@ -1,0 +1,67 @@
+#include "obs/sanitize.hpp"
+
+#include <cstdio>
+
+namespace craysim::obs {
+
+namespace {
+
+bool prom_name_char(char c, bool allow_colon) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || (allow_colon && c == ':');
+}
+
+std::string prom_sanitize(std::string_view name, bool allow_colon) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') out.push_back('_');
+  for (const char c : name) out.push_back(prom_name_char(c, allow_colon) ? c : '_');
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prom_sanitize_name(std::string_view name) { return prom_sanitize(name, true); }
+
+std::string prom_sanitize_label(std::string_view name) { return prom_sanitize(name, false); }
+
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_metric_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace craysim::obs

@@ -1,0 +1,45 @@
+// Shared name/label sanitizers and value formatting for the obs exporters.
+//
+// Every exporter that writes metric names — the JSONL snapshot
+// (MetricsRegistry::write_jsonl), the Prometheus text exposition
+// (write_prometheus), and the /status JSON of the live telemetry plane —
+// routes its strings through this one module, so the escaping rules can
+// never drift between the offline artifacts and the live endpoints:
+//  * JSON contexts use json_escape (quote/backslash/control characters).
+//  * Prometheus sample lines use prom_sanitize_name / prom_escape_label_value
+//    (names restricted to [a-zA-Z_:][a-zA-Z0-9_:]*, label values escaped per
+//    the text exposition format).
+// The JSONL snapshot keeps craysim's dotted metric names verbatim (its
+// schema is pinned by tests/obs_golden_test); only the Prometheus view
+// rewrites them, and tools/validate_telemetry.py --prom checks the result.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace craysim::obs {
+
+/// Escapes a string for embedding inside a JSON string literal: quote and
+/// backslash are backslash-escaped, control characters become \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Rewrites an arbitrary metric name into a legal Prometheus metric name:
+/// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+/// prefixed with '_' ("sim.venus.read-bytes" -> "sim_venus_read_bytes").
+/// Deterministic, so repeated exports produce stable series names.
+[[nodiscard]] std::string prom_sanitize_name(std::string_view name);
+
+/// Rewrites an arbitrary string into a legal Prometheus label name: every
+/// character outside [a-zA-Z0-9_] becomes '_' (label names may not contain
+/// colons), and a leading digit is prefixed with '_'.
+[[nodiscard]] std::string prom_sanitize_label(std::string_view name);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become \\, \", and \n.
+[[nodiscard]] std::string prom_escape_label_value(std::string_view value);
+
+/// Compact-but-deterministic double formatting (9 significant digits) shared
+/// by the JSONL snapshot and the Prometheus exposition.
+[[nodiscard]] std::string format_metric_double(double v);
+
+}  // namespace craysim::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
@@ -25,7 +26,15 @@ void write_escaped(std::ostream& out, std::string_view text) {
 
 }  // namespace
 
-void SpanRecorder::push(Event event) { events_.push_back(std::move(event)); }
+void SpanRecorder::push(Event event) {
+  if (flight_ != nullptr && event.ph != 'M') flight_->note(event);
+  if (keep_events_) events_.push_back(std::move(event));
+}
+
+void SpanRecorder::set_flight(FlightRecorder* flight, bool keep_events) {
+  flight_ = flight;
+  keep_events_ = flight == nullptr || keep_events;
+}
 
 void SpanRecorder::begin(std::uint32_t pid, std::uint32_t tid, const char* name, Ticks t,
                          std::initializer_list<Arg> args) {

@@ -26,6 +26,8 @@
 
 namespace craysim::obs {
 
+class FlightRecorder;
+
 /// Perfetto "process" ids used by the simulator's instrumentation. One
 /// simulated concern per track group keeps the timeline readable.
 namespace track {
@@ -107,10 +109,19 @@ class SpanRecorder {
   static void write_event(std::ostream& out, const Event& event, std::uint32_t pid_offset = 0,
                           std::uint64_t id_offset = 0);
 
+  /// Tees every recorded event (except 'M' metadata) into `flight`. With
+  /// `keep_events` false the recorder stops accumulating its own event
+  /// vector, turning it into a constant-memory flight-only probe — the mode
+  /// the sweep benches use when a deadline is armed but Perfetto export is
+  /// off. Pass nullptr to detach.
+  void set_flight(FlightRecorder* flight, bool keep_events = true);
+
  private:
   void push(Event event);
 
   std::vector<Event> events_;
+  FlightRecorder* flight_ = nullptr;
+  bool keep_events_ = true;
 };
 
 /// Counter ("ph":"C") samples as a JSONL time series, one object per sampled

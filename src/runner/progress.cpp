@@ -1,0 +1,79 @@
+#include "runner/progress.hpp"
+
+#include <ostream>
+
+namespace craysim::runner {
+
+const char* SweepProgress::state_name(State state) {
+  switch (state) {
+    case State::kPending: return "pending";
+    case State::kRunning: return "running";
+    case State::kRetrying: return "retrying";
+    case State::kDone: return "done";
+    case State::kFailed: return "failed";
+    case State::kTimedOut: return "timeout";
+    case State::kRestored: return "restored";
+  }
+  return "unknown";
+}
+
+void SweepProgress::begin(std::size_t count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slots_ = std::make_unique<Slot[]>(count);
+  count_.store(count, std::memory_order_relaxed);
+  started_ = std::chrono::steady_clock::now();
+  settled_.store(0, std::memory_order_relaxed);
+  live_settled_.store(0, std::memory_order_relaxed);
+}
+
+void SweepProgress::mark(std::size_t i, State state) {
+  if (i >= count_.load(std::memory_order_relaxed)) return;
+  slots_[i].state.store(static_cast<std::uint8_t>(state), std::memory_order_relaxed);
+  if (terminal(state)) {
+    settled_.fetch_add(1, std::memory_order_relaxed);
+    if (state != State::kRestored) live_settled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SweepProgress::set_attempts(std::size_t i, std::int32_t attempts) {
+  if (i >= count_.load(std::memory_order_relaxed)) return;
+  slots_[i].attempts.store(attempts, std::memory_order_relaxed);
+}
+
+void SweepProgress::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count = count_.load(std::memory_order_relaxed);
+  const std::size_t settled = settled_.load(std::memory_order_relaxed);
+  const std::size_t live = live_settled_.load(std::memory_order_relaxed);
+  std::size_t running = 0;
+  std::size_t restored = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto state = static_cast<State>(slots_[i].state.load(std::memory_order_relaxed));
+    if (state == State::kRunning || state == State::kRetrying) ++running;
+    if (state == State::kRestored) ++restored;
+  }
+  const double elapsed_s =
+      count == 0 ? 0.0
+                 : std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+                       .count();
+  out << "\"sweep\":{\"total\":" << count << ",\"settled\":" << settled
+      << ",\"running\":" << running << ",\"restored\":" << restored << ",\"completion\":"
+      << (count == 0 ? 1.0 : static_cast<double>(settled) / static_cast<double>(count))
+      << ",\"elapsed_s\":" << elapsed_s << ",\"eta_s\":";
+  if (live > 0 && elapsed_s > 0.0) {
+    const double rate = static_cast<double>(live) / elapsed_s;
+    out << static_cast<double>(count - settled) / rate;
+  } else {
+    out << "null";
+  }
+  out << "},\"states\":[";
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i != 0) out << ",";
+    const auto state = static_cast<State>(slots_[i].state.load(std::memory_order_relaxed));
+    out << "{\"point\":" << i << ",\"state\":\"" << state_name(state)
+        << "\",\"attempts\":" << slots_[i].attempts.load(std::memory_order_relaxed) << "}";
+  }
+  out << "]";
+}
+
+}  // namespace craysim::runner

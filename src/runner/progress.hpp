@@ -1,0 +1,79 @@
+// Live per-point progress table for the telemetry plane.
+//
+// The runner keeps one Slot per sweep point — a pair of relaxed atomics,
+// cache-line separated so workers stamping neighbouring points never share a
+// line — and the /status endpoint renders the whole table as JSON while the
+// sweep runs. Writers (workers) and the reader (the server thread) touch
+// only the atomics, so a concurrent scrape is TSan-clean by construction;
+// the mutex guards just the table (re)allocation in begin() against a
+// concurrent render.
+//
+// Completion/ETA come from a running throughput estimate: points settled by
+// actual execution this session divided by elapsed wall time. Points
+// restored from a journal settle instantly at begin() and are excluded from
+// the rate (they would make the estimate absurdly optimistic after a
+// resume).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace craysim::runner {
+
+class SweepProgress {
+ public:
+  enum class State : std::uint8_t {
+    kPending = 0,   ///< not yet claimed
+    kRunning,       ///< an attempt is executing
+    kRetrying,      ///< failed attempt, sleeping out the backoff
+    kDone,          ///< settled ok
+    kFailed,        ///< settled failed (attempts exhausted)
+    kTimedOut,      ///< settled past its deadline
+    kRestored,      ///< settled from the journal without running
+  };
+
+  [[nodiscard]] static const char* state_name(State state);
+  [[nodiscard]] static bool terminal(State state) { return state >= State::kDone; }
+
+  /// (Re)starts the table for a sweep of `count` points, all kPending, and
+  /// stamps the throughput clock. Safe against a concurrent render.
+  void begin(std::size_t count);
+
+  /// Stamps point `i`; terminal states bump the settled counters. Relaxed —
+  /// callable from any worker while the server renders.
+  void mark(std::size_t i, State state);
+  void set_attempts(std::size_t i, std::int32_t attempts);
+
+  [[nodiscard]] std::size_t total() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t settled() const {
+    return settled_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the /status fragment (no surrounding braces):
+  ///   "sweep":{"total":N,"settled":N,"running":N,"restored":N,
+  ///            "completion":0.5,"elapsed_s":1.25,"eta_s":1.25},
+  ///   "states":[{"point":0,"state":"done","attempts":1},...]
+  /// eta_s is null until at least one point settled by execution.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint8_t> state{0};
+    std::atomic<std::int32_t> attempts{0};
+  };
+
+  mutable std::mutex mutex_;  ///< guards slot (re)allocation vs render
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> count_{0};  ///< atomic: total() is read lock-free
+  std::chrono::steady_clock::time_point started_{};
+  std::atomic<std::size_t> settled_{0};       ///< terminal states, any provenance
+  std::atomic<std::size_t> live_settled_{0};  ///< terminal via actual execution
+};
+
+}  // namespace craysim::runner

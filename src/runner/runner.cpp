@@ -4,8 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/promtext.hpp"
+#include "obs/sanitize.hpp"
 #include "util/digest.hpp"
 #include "util/rng.hpp"
 #include "util/text.hpp"
@@ -75,15 +79,23 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options) : options_(std::move(o
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (options_.collect_telemetry) stats_ = std::make_unique<WorkerStats[]>(threads);
+  // The live plane needs the per-worker slots for /status even when JSONL
+  // telemetry is off.
+  if (options_.collect_telemetry || !options_.listen_addr.empty()) {
+    stats_ = std::make_unique<WorkerStats[]>(threads);
+  }
   // The caller is worker number zero; only the extras need threads.
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (!options_.listen_addr.empty()) start_server();
 }
 
 ExperimentRunner::~ExperimentRunner() {
+  // Stop serving scrapes before the pool (and everything handlers read)
+  // starts tearing down.
+  server_.reset();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -114,10 +126,12 @@ void ExperimentRunner::run_point(const std::function<void(std::size_t)>& fn, std
     return;
   }
   note_claim(depth);
+  WorkerStats& slot = stats_[worker];
+  slot.busy.store(true, std::memory_order_relaxed);
   const auto started = std::chrono::steady_clock::now();
   fn(index);
   const auto elapsed = std::chrono::steady_clock::now() - started;
-  WorkerStats& slot = stats_[worker];
+  slot.busy.store(false, std::memory_order_relaxed);
   slot.points.fetch_add(1, std::memory_order_relaxed);
   slot.busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
                          std::memory_order_relaxed);
@@ -174,10 +188,11 @@ void ExperimentRunner::run_indexed(std::size_t count,
       run_point(fn, i, 0, static_cast<std::int64_t>(count - i));
     }
     if (stats_) {
-      ++batches_;
-      wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - batch_started)
-                      .count();
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      wall_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - batch_started)
+                             .count(),
+                         std::memory_order_relaxed);
     }
     return;
   }
@@ -203,10 +218,11 @@ void ExperimentRunner::run_indexed(std::size_t count,
   done_cv_.wait(lock, [&] { return completed_ == count_; });
   fn_ = nullptr;
   if (stats_) {
-    ++batches_;
-    wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - batch_started)
-                    .count();
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    wall_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - batch_started)
+                           .count(),
+                       std::memory_order_relaxed);
   }
 }
 
@@ -242,6 +258,10 @@ PointOutcome ExperimentRunner::execute_point(std::size_t index, const ResilientB
   const std::int32_t max_attempts = options_.max_attempts;
   for (std::int32_t attempt = 1;; ++attempt) {
     outcome.attempts = attempt;
+    if (progress_) {
+      progress_->mark(index, SweepProgress::State::kRunning);
+      progress_->set_attempts(index, attempt);
+    }
     res_attempts_.fetch_add(1, std::memory_order_relaxed);
     // Each attempt gets a fresh deadline budget.
     std::optional<util::CancelToken> deadline_token;
@@ -271,11 +291,15 @@ PointOutcome ExperimentRunner::execute_point(std::size_t index, const ResilientB
       outcome.error = "unknown error";
     }
     if (!failed || attempt >= max_attempts) break;
+    progress_mark(index, SweepProgress::State::kRetrying);
     const std::chrono::nanoseconds delay = retry_delay(options_, index, attempt + 1);
     outcome.backoff_ns += delay.count();
     res_retries_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(delay);
   }
+  progress_mark(index, outcome.status == PointStatus::kOk        ? SweepProgress::State::kDone
+                       : outcome.status == PointStatus::kTimedOut ? SweepProgress::State::kTimedOut
+                                                                  : SweepProgress::State::kFailed);
   if (outcome.status != PointStatus::kOk) res_failures_.fetch_add(1, std::memory_order_relaxed);
   res_backoff_ns_.fetch_add(outcome.backoff_ns, std::memory_order_relaxed);
   if (journal != nullptr) {
@@ -294,7 +318,8 @@ std::vector<PointOutcome> ExperimentRunner::run_resilient(std::size_t count,
                                                           const PointDigestFn& point_digest,
                                                           const RestoreFn& on_restored) {
   validate_resilience(options_);
-  resilient_used_ = true;
+  resilient_used_.store(true, std::memory_order_relaxed);
+  progress_begin(count);
   std::vector<PointOutcome> outcomes(count);
   std::vector<std::uint64_t> digests;
   std::unique_ptr<SweepJournal> journal;
@@ -323,7 +348,8 @@ std::vector<PointOutcome> ExperimentRunner::run_resilient(std::size_t count,
       outcomes[record.index] = record.outcome;
       outcomes[record.index].from_journal = true;
       if (on_restored) on_restored(record.index, record.payload, outcomes[record.index]);
-      ++res_restored_;
+      progress_mark(record.index, SweepProgress::State::kRestored);
+      res_restored_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   std::vector<std::size_t> todo;
@@ -344,8 +370,8 @@ void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
   const std::string p(prefix);
   const unsigned threads = thread_count();
   registry.gauge(p + ".threads").set(static_cast<double>(threads));
-  registry.counter(p + ".batches").add(batches_);
-  const double wall_s = static_cast<double>(wall_ns_) * 1e-9;
+  registry.counter(p + ".batches").add(batches_.load(std::memory_order_relaxed));
+  const double wall_s = static_cast<double>(wall_ns_.load(std::memory_order_relaxed)) * 1e-9;
   registry.gauge(p + ".wall_s").set(wall_s);
   std::int64_t total_points = 0;
   if (stats_) {
@@ -372,12 +398,13 @@ void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
       .set(static_cast<double>(depth_max_.load(std::memory_order_relaxed)));
   // Resilience tallies appear only when a resilient run happened, keeping
   // the legacy metric-name schema (pinned by obs_golden_test) unchanged.
-  if (resilient_used_) {
+  if (resilient_used_.load(std::memory_order_relaxed)) {
     registry.counter(p + ".attempts").add(res_attempts_.load(std::memory_order_relaxed));
     registry.counter(p + ".retries").add(res_retries_.load(std::memory_order_relaxed));
     registry.counter(p + ".timeouts").add(res_timeouts_.load(std::memory_order_relaxed));
     registry.counter(p + ".failures").add(res_failures_.load(std::memory_order_relaxed));
-    registry.counter(p + ".points_restored").add(res_restored_);
+    registry.counter(p + ".points_restored")
+        .add(res_restored_.load(std::memory_order_relaxed));
     registry.gauge(p + ".backoff_s")
         .set(static_cast<double>(res_backoff_ns_.load(std::memory_order_relaxed)) * 1e-9);
     if (options_.chaos.enabled()) {
@@ -389,6 +416,72 @@ void ExperimentRunner::publish_metrics(obs::MetricsRegistry& registry,
           .add(res_chaos_hangs_.load(std::memory_order_relaxed));
     }
   }
+}
+
+void ExperimentRunner::progress_begin(std::size_t count) {
+  if (progress_) progress_->begin(count);
+}
+
+void ExperimentRunner::progress_mark(std::size_t i, SweepProgress::State state) {
+  if (progress_) progress_->mark(i, state);
+}
+
+void ExperimentRunner::start_server() {
+  progress_ = std::make_unique<SweepProgress>();
+  server_ = std::make_unique<obs::TelemetryServer>();
+  server_->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  server_->handle("/metrics", obs::kPromContentType, [this] { return scrape_prometheus(); });
+  server_->handle("/status", "application/json", [this] { return status_json(); });
+  server_->start(options_.listen_addr);
+}
+
+std::string ExperimentRunner::scrape_prometheus() const {
+  // A fresh scratch registry per scrape: publish_metrics adds the *current*
+  // tallies into zeroed counters, so repeated scrapes report totals instead
+  // of compounding, and nothing long-lived is mutated from the server
+  // thread.
+  obs::MetricsRegistry scratch;
+  publish_metrics(scratch);
+  if (progress_) {
+    const auto total = static_cast<double>(progress_->total());
+    const auto settled = static_cast<double>(progress_->settled());
+    scratch.gauge("runner.progress.total").set(total);
+    scratch.gauge("runner.progress.settled").set(settled);
+    scratch.gauge("runner.progress.completion").set(total > 0.0 ? settled / total : 1.0);
+  }
+  std::ostringstream out;
+  obs::PromRenderState state;
+  obs::write_prometheus(out, scratch, &state);
+  // The caller's registry rides along; the shared state suppresses any
+  // family the runner already emitted (e.g. after an end-of-run
+  // publish_metrics into the same registry).
+  if (options_.metrics != nullptr) obs::write_prometheus(out, *options_.metrics, &state);
+  return out.str();
+}
+
+std::string ExperimentRunner::status_json() const {
+  std::ostringstream out;
+  out << "{\"craysim_status\":1,\"threads\":" << thread_count() << ",\"resilient\":"
+      << (resilient_used_.load(std::memory_order_relaxed) ? "true" : "false") << ",";
+  if (progress_) {
+    progress_->write_json(out);
+    out << ",";
+  }
+  out << "\"workers\":[";
+  if (stats_) {
+    for (unsigned i = 0; i < thread_count(); ++i) {
+      if (i != 0) out << ",";
+      out << "{\"worker\":" << i << ",\"busy\":"
+          << (stats_[i].busy.load(std::memory_order_relaxed) ? "true" : "false")
+          << ",\"points\":" << stats_[i].points.load(std::memory_order_relaxed) << ",\"busy_s\":"
+          << obs::format_metric_double(
+                 static_cast<double>(stats_[i].busy_ns.load(std::memory_order_relaxed)) * 1e-9)
+          << "}";
+    }
+  }
+  out << "],\"journal\":{\"path\":\"" << obs::json_escape(options_.journal_path)
+      << "\",\"restored\":" << res_restored_.load(std::memory_order_relaxed) << "}}";
+  return out.str();
 }
 
 SharedTrace share_trace(trace::Trace trace) {

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "runner/journal.hpp"
+#include "runner/progress.hpp"
 #include "trace/mapped_file.hpp"
 #include "trace/stream.hpp"
 #include "util/cancel.hpp"
@@ -49,6 +50,7 @@
 
 namespace craysim::obs {
 class MetricsRegistry;
+class TelemetryServer;
 }
 
 namespace craysim::runner {
@@ -131,8 +133,23 @@ struct RunnerOptions {
   /// Synthetic failure injection for the runner itself (tests, drills).
   RunnerFaultPlan chaos = {};
 
+  // --- Live telemetry plane (docs/OBSERVABILITY.md). ---
+
+  /// When non-empty, the runner starts an embedded HTTP server on this
+  /// "host:port" (or bare "port"; port 0 binds ephemeral) exposing /metrics
+  /// (Prometheus text), /status (JSON progress/ETA), and /healthz — live for
+  /// the runner's whole lifetime, scrapeable mid-sweep. Empty = no server,
+  /// and the sweep takes exactly the pre-telemetry code path.
+  std::string listen_addr = {};
+
+  /// Optional application registry folded into /metrics after the runner's
+  /// own series (sim counters the bench accumulated so far). Must outlive
+  /// the runner. Null = runner series only.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// True when any resilience feature is engaged; false means run_settled
-  /// takes the legacy hot path with zero added cost.
+  /// takes the legacy hot path with zero added cost. Deliberately excludes
+  /// listen_addr: serving scrapes never changes which execution path runs.
   [[nodiscard]] bool resilient() const {
     return !journal_path.empty() || point_deadline.count() > 0 || max_attempts > 1 ||
            chaos.enabled();
@@ -210,6 +227,13 @@ class ExperimentRunner {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
+  /// The embedded telemetry server, or null when listen_addr was empty.
+  /// Tests use port()/address() off it to scrape an ephemeral bind.
+  [[nodiscard]] obs::TelemetryServer* telemetry_server() const { return server_.get(); }
+
+  /// Live progress table, or null when listen_addr was empty.
+  [[nodiscard]] const SweepProgress* progress() const { return progress_.get(); }
+
   /// Runs fn(i) for every i in [0, count), spread across the pool; returns
   /// once all invocations finished. fn must not throw (the typed wrappers
   /// below settle exceptions per point before they reach the pool).
@@ -222,8 +246,9 @@ class ExperimentRunner {
   /// RunnerOptions::collect_telemetry was set. Runs that engaged resilience
   /// additionally publish `.attempts` / `.retries` / `.timeouts` /
   /// `.failures` / `.points_restored` / `.backoff_s` (and `.chaos.*` when a
-  /// chaos plan was active). Must not race with a concurrent run() on
-  /// another thread.
+  /// chaos plan was active). Tallies are read with relaxed atomics, so the
+  /// /metrics endpoint may call this concurrently with a run in flight — a
+  /// scrape sees a consistent-enough in-progress snapshot.
   void publish_metrics(obs::MetricsRegistry& registry,
                        std::string_view prefix = "runner") const;
 
@@ -305,11 +330,13 @@ class ExperimentRunner {
 
  private:
   /// Per-worker telemetry tallies, cache-line separated so concurrent
-  /// workers never contend on a line. Allocated only when
-  /// RunnerOptions::collect_telemetry is set; null means telemetry is off.
+  /// workers never contend on a line. Allocated when
+  /// RunnerOptions::collect_telemetry or listen_addr is set; null means
+  /// telemetry is off.
   struct alignas(64) WorkerStats {
     std::atomic<std::int64_t> points{0};
     std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<bool> busy{false};  ///< inside a point right now (/status view)
   };
 
   using ResilientBody = std::function<std::string(std::size_t, const util::CancelToken&)>;
@@ -336,6 +363,15 @@ class ExperimentRunner {
                              std::uint64_t digest);
   void inject_chaos(std::size_t index, std::int32_t attempt, const util::CancelToken& token);
 
+  /// Live-plane hooks, all no-ops when listen_addr was empty (progress_ is
+  /// null). Defined out of line so the templates above stay header-only
+  /// without pulling the server into every includer.
+  void progress_begin(std::size_t count);
+  void progress_mark(std::size_t i, SweepProgress::State state);
+  void start_server();
+  [[nodiscard]] std::string scrape_prometheus() const;
+  [[nodiscard]] std::string status_json() const;
+
   /// One guarded invocation of the user's point function into slot
   /// `result`: captures the exception (for the caller to rethrow) and
   /// re-throws it so the engine can classify the attempt.
@@ -354,12 +390,16 @@ class ExperimentRunner {
   template <typename Point, typename Fn, typename R>
   void run_settled_legacy(const std::vector<Point>& points, Fn& fn,
                           std::vector<PointResult<R>>& results) {
+    progress_begin(points.size());
     run_indexed(points.size(), [&](std::size_t i) {
+      progress_mark(i, SweepProgress::State::kRunning);
       try {
         results[i].value.emplace(detail::invoke_point(fn, points[i], util::CancelToken::none()));
+        progress_mark(i, SweepProgress::State::kDone);
       } catch (...) {
         results[i].error = std::current_exception();
         results[i].outcome.status = PointStatus::kFailed;
+        progress_mark(i, SweepProgress::State::kFailed);
       }
     });
   }
@@ -415,18 +455,20 @@ class ExperimentRunner {
   std::atomic<std::size_t> next_index_{0};
 
   // Telemetry. Workers publish into their own WorkerStats slot and the
-  // shared depth accumulators with relaxed atomics; batches_/wall_ns_ are
-  // touched by the calling thread only (run_indexed is not reentrant).
+  // shared depth accumulators with relaxed atomics. Everything the /metrics
+  // handler reads is atomic (including batches_/wall_ns_, written by the
+  // calling thread only — atomics so a live scrape mid-sweep is TSan-clean).
   std::unique_ptr<WorkerStats[]> stats_;  ///< thread_count() slots, or null = off
   std::atomic<std::int64_t> depth_sum_{0};
   std::atomic<std::int64_t> depth_samples_{0};
   std::atomic<std::int64_t> depth_max_{0};
-  std::int64_t batches_ = 0;
-  std::int64_t wall_ns_ = 0;
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> wall_ns_{0};
 
   // Resilience tallies (relaxed atomics: workers bump, publish_metrics
-  // reads after runs complete). Published only when a resilient run
-  // happened, so non-resilient metric snapshots keep their pinned schema.
+  // reads, possibly concurrently from the server thread). Published only
+  // when a resilient run happened, so non-resilient metric snapshots keep
+  // their pinned schema.
   std::atomic<std::int64_t> res_attempts_{0};
   std::atomic<std::int64_t> res_retries_{0};
   std::atomic<std::int64_t> res_timeouts_{0};
@@ -435,8 +477,14 @@ class ExperimentRunner {
   std::atomic<std::int64_t> res_chaos_failures_{0};
   std::atomic<std::int64_t> res_chaos_delays_{0};
   std::atomic<std::int64_t> res_chaos_hangs_{0};
-  std::int64_t res_restored_ = 0;   ///< calling thread only
-  bool resilient_used_ = false;     ///< calling thread only
+  std::atomic<std::int64_t> res_restored_{0};
+  std::atomic<bool> resilient_used_{false};
+
+  // Live telemetry plane; both null when RunnerOptions::listen_addr was
+  // empty. The server thread reads progress_/stats_/tallies concurrently
+  // with workers; the destructor stops the server before the pool.
+  std::unique_ptr<SweepProgress> progress_;
+  std::unique_ptr<obs::TelemetryServer> server_;
 };
 
 /// An immutable parsed trace shared across sweep points — parse once, replay

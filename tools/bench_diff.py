@@ -6,16 +6,29 @@ Usage:
 
 Reads the sectioned flat-JSON format written by bench_common.hpp's
 write_json_section (e.g. BENCH_micro.json), compares every ``*_ns_per_op``
-key the two snapshots share, and prints a delta table. Exits nonzero when any
-shared benchmark regressed by more than ``--tolerance`` (fractional; the
-default 0.10 means ns/op grew >10%). Keys present on only one side are
-reported but never fail the comparison, so adding or retiring a benchmark
-does not break CI.
+key the two snapshots share, and prints a delta table followed by a one-line
+geometric-mean summary (the unweighted geomean of current/baseline ratios —
+the single number that says whether the build got faster or slower overall).
+Exits nonzero when any shared benchmark regressed by more than
+``--tolerance`` (fractional; the default 0.10 means ns/op grew >10%). Keys
+present on only one side are reported but never fail the comparison, so
+adding or retiring a benchmark does not break CI.
 """
 
 import argparse
 import json
+import math
 import sys
+
+
+def geomean_ratio(base, curr, shared):
+    """exp(mean(log(curr/base))) over keys where both sides are positive;
+    None when no key qualifies."""
+    logs = [math.log(curr[k] / base[k]) for k in shared
+            if base[k] > 0 and curr[k] > 0]
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
 
 
 def load_ns_per_op(path):
@@ -76,12 +89,17 @@ def main():
     for key in sorted(set(curr) - set(base)):
         print(f"{key:<{name_w}}  {'(absent)':>12}  {curr[key]:>12.4g}")
 
+    gm = geomean_ratio(base, curr, shared)
+    if gm is not None:
+        print(f"\ngeomean: {gm:.4f}x baseline ns/op ({gm - 1.0:+.1%}) "
+              f"across {len(shared)} shared benchmark(s)")
+
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.tolerance:.0%}:")
         for key, delta in regressions:
             print(f"  {key}: {delta:+.1%}")
         return 1
-    print(f"\nno regressions beyond {args.tolerance:.0%} "
+    print(f"no regressions beyond {args.tolerance:.0%} "
           f"across {len(shared)} shared benchmark(s)")
     return 0
 

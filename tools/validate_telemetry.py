@@ -7,6 +7,7 @@ Usage:
     tools/validate_telemetry.py --perfetto sweep.json --min-processes 3 \
         --timeseries series.jsonl
     tools/validate_telemetry.py --journal sweep.journal
+    tools/validate_telemetry.py --prom metrics.prom
 
 Checks (any failure exits nonzero, printing what broke):
   Perfetto (Chrome trace-event JSON), including SpanRecorderPool merges
@@ -38,14 +39,26 @@ Checks (any failure exits nonzero, printing what broke):
       index, a "0x..." input digest, status in {ok, failed, timeout},
       attempts >= 1, backoff_ns >= 0
     * ok records carry a "result" payload; failed/timeout records an "error"
+  Prometheus text exposition (--prom, the live /metrics endpoint's output;
+  promlint-style structural checks):
+    * every sample line parses as "name[{labels}] value"; names and label
+      keys match [a-zA-Z_:][a-zA-Z0-9_:]*
+    * every family has paired # HELP and # TYPE lines, TYPE before any of
+      its samples, each family declared exactly once
+    * no duplicate series (same name + label set)
+    * histogram buckets have monotone nondecreasing cumulative counts in
+      increasing le order, ending at le="+Inf" with count == <family>_count
+    * summary quantile samples carry a quantile label in [0, 1]
 
 CI's telemetry smoke job runs this over examples/observe's output (including
-the merged multi-point sweep trace), and the crash-drill job over the
-journal the drill leaves behind.
+the merged multi-point sweep trace), the live-telemetry smoke job over a
+mid-sweep /metrics scrape, and the crash-drill job over the journal the
+drill leaves behind.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -292,12 +305,128 @@ def validate_journal(path):
           f"indices strictly increasing, statuses valid)")
 
 
+PROM_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+PROM_SAMPLE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{([^}]*)\})?"                     # optional {labels}
+    r"\s+(-?[0-9.eE+\-]+|[+-]?Inf|NaN)$"    # value
+)
+PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def prom_family_of(name):
+    """The family a sample belongs to: histogram/summary samples drop their
+    _bucket/_sum/_count suffix."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_prom(path):
+    helps = {}      # family -> lineno of its HELP line
+    types = {}      # family -> declared type
+    series = set()  # (name, sorted label tuple) seen
+    buckets = {}    # family -> list of (le, count) in file order
+    counts = {}     # family -> value of <family>_count
+    samples = 0
+    with open_or_fail(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 4:
+                    fail(f"{path}:{lineno}: HELP line without text")
+                if parts[2] in helps:
+                    fail(f"{path}:{lineno}: duplicate HELP for '{parts[2]}'")
+                helps[parts[2]] = lineno
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in PROM_TYPES:
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                if parts[2] in types:
+                    fail(f"{path}:{lineno}: duplicate TYPE for '{parts[2]}'")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # free-form comment
+            match = PROM_SAMPLE.match(line)
+            if not match:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+            name, label_text, value_text = match.groups()
+            labels = []
+            if label_text:
+                consumed = PROM_LABEL.sub("", label_text).strip(", \t")
+                if consumed:
+                    fail(f"{path}:{lineno}: malformed labels: {{{label_text}}}")
+                labels = PROM_LABEL.findall(label_text)
+                keys = [k for k, _ in labels]
+                if len(set(keys)) != len(keys):
+                    fail(f"{path}:{lineno}: repeated label key in {{{label_text}}}")
+            try:
+                value = float(value_text)
+            except ValueError:
+                fail(f"{path}:{lineno}: non-numeric value {value_text!r}")
+            family = prom_family_of(name)
+            if family not in types:
+                fail(f"{path}:{lineno}: sample '{name}' precedes its TYPE line")
+            key = (name, tuple(sorted(labels)))
+            if key in series:
+                fail(f"{path}:{lineno}: duplicate series {name}{{{label_text or ''}}}")
+            series.add(key)
+            if types.get(family) == "histogram" and name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    fail(f"{path}:{lineno}: histogram bucket without le label")
+                buckets.setdefault(family, []).append((le, value))
+            if name.endswith("_count"):
+                counts[family] = value
+            if types.get(family) == "summary" and name == family:
+                quantile = dict(labels).get("quantile")
+                if quantile is None or not 0.0 <= float(quantile) <= 1.0:
+                    fail(f"{path}:{lineno}: summary sample without a quantile "
+                         f"label in [0, 1]")
+            samples += 1
+    for family in types:
+        if family not in helps:
+            fail(f"{path}: family '{family}' has TYPE but no HELP")
+    for family in helps:
+        if family not in types:
+            fail(f"{path}: family '{family}' has HELP but no TYPE")
+    for family, pairs in buckets.items():
+        last = None
+        for le, count in pairs:
+            bound = float("inf") if le == "+Inf" else float(le)
+            if last is not None:
+                if bound <= last[0]:
+                    fail(f"{path}: histogram '{family}' bucket le={le} not "
+                         f"increasing")
+                if count < last[1]:
+                    fail(f"{path}: histogram '{family}' bucket le={le} count "
+                         f"{count} < previous {last[1]} (not cumulative)")
+            last = (bound, count)
+        if last is None or last[0] != float("inf"):
+            fail(f"{path}: histogram '{family}' does not end at le=\"+Inf\"")
+        if family in counts and last[1] != counts[family]:
+            fail(f"{path}: histogram '{family}' +Inf bucket {last[1]} != "
+                 f"{family}_count {counts[family]}")
+    if not samples:
+        fail(f"{path}: no samples")
+    print(f"{path}: OK ({samples} samples, {len(types)} families, "
+          f"{len(buckets)} histograms, HELP/TYPE paired, no duplicate series)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--perfetto", help="Chrome trace-event JSON file")
     parser.add_argument("--metrics", help="metrics snapshot JSONL file")
     parser.add_argument("--timeseries", help="counter time-series JSONL file")
     parser.add_argument("--journal", help="sweep checkpoint/resume journal file")
+    parser.add_argument("--prom", help="Prometheus text exposition (/metrics scrape)")
     parser.add_argument(
         "--min-processes",
         type=int,
@@ -312,9 +441,9 @@ def main():
     )
     args = parser.parse_args()
     if not args.perfetto and not args.metrics and not args.timeseries \
-            and not args.journal:
+            and not args.journal and not args.prom:
         parser.error("nothing to validate: pass --perfetto, --metrics, "
-                     "--timeseries, and/or --journal")
+                     "--timeseries, --journal, and/or --prom")
     if args.perfetto:
         validate_perfetto(args.perfetto, args.min_processes)
     if args.metrics:
@@ -323,6 +452,8 @@ def main():
         validate_timeseries(args.timeseries)
     if args.journal:
         validate_journal(args.journal)
+    if args.prom:
+        validate_prom(args.prom)
 
 
 if __name__ == "__main__":
