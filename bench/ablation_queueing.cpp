@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   bench::apply_resilience(res_args, runner_options);
-  bench::apply_telemetry(obs_args, runner_options);
-  runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, configs.size());
   sweep_obs.arm_flight(res_args);
+  bench::apply_telemetry(obs_args, runner_options, nullptr, sweep_obs);
+  runner::ExperimentRunner pool(runner_options);
   std::vector<std::size_t> indices(configs.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   const bench::SimResultCodec codec([&](std::size_t i) { return configs[i].name; });

@@ -101,10 +101,18 @@ struct ObsArgs {
   std::string timeseries_path;
   double counter_interval_ms = 0.0;  ///< 0 = SweepObserver's default
   std::string listen_addr;  ///< "--listen host:port": live /metrics + /status server
+  std::string attribution_path;  ///< "--attribution <path>": per-point attribution JSONL
+  std::size_t attr_top = 10;     ///< "--top <n>": rows per hotspot table
 
   /// Did the user ask for any per-sweep-point recording?
   [[nodiscard]] bool sweep_telemetry() const {
     return !perfetto_sweep_path.empty() || !timeseries_path.empty();
+  }
+
+  /// Did the user ask for latency attribution (--attribution, or a live
+  /// server whose /attribution endpoint should have data)?
+  [[nodiscard]] bool attribution() const {
+    return !attribution_path.empty() || !listen_addr.empty();
   }
 
   [[nodiscard]] static ObsArgs take(int& argc, char** argv) {
@@ -117,6 +125,9 @@ struct ObsArgs {
     args.perfetto_sweep_path = take_value_arg(argc, argv, "--perfetto-sweep");
     args.timeseries_path = take_value_arg(argc, argv, "--timeseries");
     args.listen_addr = take_value_arg(argc, argv, "--listen");
+    args.attribution_path = take_value_arg(argc, argv, "--attribution");
+    const std::string top = take_value_arg(argc, argv, "--top");
+    if (!top.empty()) args.attr_top = static_cast<std::size_t>(std::stoul(top));
     const std::string interval = take_value_arg(argc, argv, "--counter-interval");
     if (!interval.empty()) args.counter_interval_ms = std::stod(interval);
     return args;

@@ -90,12 +90,18 @@ int main(int argc, char** argv) {
   options.entries_per_packet = 16;  // small packets so drops bite at low rates
 
   const std::vector<double> drop_rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  // The observer watches the simulator sweep further down, but it has to
+  // exist before whichever runner serves the live plane (its /attribution
+  // handler is registered at runner construction).
+  const std::vector<double> error_rates = {0.0, 0.01, 0.05, 0.10};
+  bench::SweepObserver sweep_obs(obs_args, error_rates.size());
+  sweep_obs.arm_flight(res_args);
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   // With resilience flags the simulator sweep below gets its own pool, and
   // the live plane (one port) belongs to it; otherwise this shared pool
   // serves both sweeps.
-  if (!res_args.any()) bench::apply_telemetry(obs_args, runner_options);
+  if (!res_args.any()) bench::apply_telemetry(obs_args, runner_options, nullptr, sweep_obs);
   runner::ExperimentRunner pool(runner_options);
   const std::vector<DropResult> drops = pool.run(drop_rates, [&](double rate) {
     faults::FaultPlan plan;
@@ -152,9 +158,6 @@ int main(int argc, char** argv) {
   std::printf("%s", ascii_plot(kept_pct, plot).c_str());
 
   bench::heading("Fault sweep: simulator under injected disk failures");
-  const std::vector<double> error_rates = {0.0, 0.01, 0.05, 0.10};
-  bench::SweepObserver sweep_obs(obs_args, error_rates.size());
-  sweep_obs.arm_flight(res_args);
   std::vector<std::size_t> indices(error_rates.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   // The simulator sweep gets its own resilient runner only when a flag asks
@@ -164,7 +167,7 @@ int main(int argc, char** argv) {
   if (res_args.any()) {
     runner::RunnerOptions sim_options = runner_options;
     bench::apply_resilience(res_args, sim_options);
-    bench::apply_telemetry(obs_args, sim_options);
+    bench::apply_telemetry(obs_args, sim_options, nullptr, sweep_obs);
     resilient_pool.emplace(sim_options);
   }
   runner::ExperimentRunner& sim_pool = resilient_pool ? *resilient_pool : pool;

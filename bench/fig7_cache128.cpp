@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
   runner::RunnerOptions runner_options = runner::RunnerOptions::from_env();
   runner_options.collect_telemetry = !obs_args.metrics_path.empty();
   bench::apply_resilience(res_args, runner_options);
-  bench::apply_telemetry(obs_args, runner_options);
-  runner::ExperimentRunner pool(runner_options);
   bench::SweepObserver sweep_obs(obs_args, 1);
   sweep_obs.arm_flight(res_args);
+  bench::apply_telemetry(obs_args, runner_options, nullptr, sweep_obs);
+  runner::ExperimentRunner pool(runner_options);
   const std::vector<std::size_t> points = {0};
   const bench::SimResultCodec codec([](std::size_t) { return "venus x2, 128 MB SSD"; });
   sim::SimResult result = std::move(bench::run_sweep(pool, res_args, points, [&](std::size_t) {

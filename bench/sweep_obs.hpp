@@ -8,6 +8,14 @@
 // pool is disabled and instrument() is a no-op, so the sweep's results and
 // printed output are byte-identical to an untelemetered run.
 //
+// Latency attribution rides the same shape (docs/OBSERVABILITY.md): with
+// --attribution (or --listen) each point gets its own obs::AttributionLedger,
+// finish() writes the per-point blame rows as JSONL and prints the merged
+// "where did the time go" report, and the four-argument apply_telemetry
+// overload serves the merged ledgers live on /attribution and as sim_attr_*
+// metrics. Without those flags params.attribution stays null and the sweep
+// is bit-identical.
+//
 // Also home to the benches' resilience wiring (docs/RESILIENCE.md):
 // apply_resilience() maps the ResilienceArgs flags onto RunnerOptions, the
 // codecs give the runner's journal a lossless round trip for the two result
@@ -20,11 +28,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/attribution.hpp"
 #include "bench_common.hpp"
+#include "obs/attr.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sanitize.hpp"
@@ -45,10 +57,19 @@ inline constexpr double kDefaultCounterIntervalMs = 100.0;
 class SweepObserver {
  public:
   SweepObserver(const ObsArgs& args, std::size_t points)
-      : args_(args), pool_(points, args.sweep_telemetry()) {}
+      : args_(args), pool_(points, args.sweep_telemetry()) {
+    if (args.attribution()) {
+      ledgers_ = std::make_unique<obs::AttributionLedger[]>(points);
+      attr_labels_.assign(points, {});
+    }
+  }
 
   [[nodiscard]] bool enabled() const { return pool_.enabled(); }
   [[nodiscard]] obs::SpanRecorderPool& pool() { return pool_; }
+
+  /// Did --attribution (or --listen, which serves /attribution) arm the
+  /// per-point blame ledgers?
+  [[nodiscard]] bool attribution_enabled() const { return ledgers_ != nullptr; }
 
   /// Arms the deadline flight recorder (docs/OBSERVABILITY.md): one bounded
   /// ring per point, filled by a span tee while the point runs, dumped to
@@ -65,6 +86,7 @@ class SweepObserver {
   }
 
   [[nodiscard]] bool flight_armed() const { return !flights_.empty(); }
+  [[nodiscard]] const std::string& flight_path() const { return flight_path_; }
 
   /// Claims point `index`'s recorder and wires it — plus the counter
   /// sampling interval — into `params`. No-op when sweep telemetry is off
@@ -74,6 +96,18 @@ class SweepObserver {
   /// a constant-memory flight-only recorder instead (events tee into the
   /// ring and are not retained).
   void instrument(std::size_t index, std::string label, sim::SimParams& params) {
+    if (ledgers_ != nullptr && index < pool_.size()) {
+      {
+        // The live /attribution handler reads labels concurrently, so writes
+        // go under a mutex (once per point — never on the simulated op path).
+        const std::lock_guard<std::mutex> lock(attr_mutex_);
+        attr_labels_[index] = label;
+      }
+      // Accumulate-only: a point retried after a chaos failure folds every
+      // attempt's ops into the same ledger, so chaos-run blame reports can
+      // count an op more than once. Deterministic runs record each op once.
+      params.attribution = &ledgers_[index];
+    }
     if (flight_armed() && index < flight_labels_.size()) flight_labels_[index] = label;
     obs::SpanRecorder* recorder = pool_.claim(index, std::move(label));
     if (recorder == nullptr) {
@@ -94,14 +128,15 @@ class SweepObserver {
   /// timed-out point with its outcome and the tail of its recording. Points
   /// that never reached their own simulation (a chaos hang cancelled before
   /// the body ran) appear with an empty event tail — the outcome fields
-  /// still say what happened. No-op otherwise.
-  void dump_flight(const std::vector<runner::PointOutcome>& outcomes) {
-    if (!flight_armed()) return;
+  /// still say what happened. No-op otherwise. Returns the path written, or
+  /// "" when nothing was dumped (so callers can report it to /status).
+  std::string dump_flight(const std::vector<runner::PointOutcome>& outcomes) {
+    if (!flight_armed()) return {};
     std::size_t timed_out = 0;
     for (const auto& outcome : outcomes) {
       if (outcome.status == runner::PointStatus::kTimedOut) ++timed_out;
     }
-    if (timed_out == 0) return;
+    if (timed_out == 0) return {};
     std::ostringstream out;
     out << "{\"craysim_flight\":1,\"deadline_s\":" << flight_deadline_s_
         << ",\"capacity\":" << obs::FlightRecorder::kDefaultCapacity << ",\"points\":[";
@@ -124,33 +159,102 @@ class SweepObserver {
     util::write_file_atomic(flight_path_, out.str());
     std::printf("wrote flight recording (%zu timed-out points) to %s\n", timed_out,
                 flight_path_.c_str());
+    return flight_path_;
+  }
+
+  /// Blame totals across every point's ledger, merged by row key. Safe to
+  /// call mid-sweep (the ledgers are built for concurrent scrapes); the
+  /// result is a monotonic in-progress view, like /metrics counters.
+  [[nodiscard]] obs::AttrSummary attribution_summary() const {
+    obs::AttrSummary merged;
+    if (ledgers_ == nullptr) return merged;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      obs::merge_attr_summary(merged, ledgers_[i].summarize());
+    }
+    return merged;
+  }
+
+  /// The /attribution payload: the merged summary as one JSON object
+  /// (top-level marker "craysim_attribution").
+  [[nodiscard]] std::string attribution_json() const {
+    std::ostringstream out;
+    obs::write_attr_json(out, attribution_summary());
+    out << "\n";
+    return out.str();
+  }
+
+  /// Publishes the merged summary into `registry` under "sim.attr" (the
+  /// sim_attr_* Prometheus families). Wired into the runner's per-scrape
+  /// hook by apply_telemetry below.
+  void publish_attribution(obs::MetricsRegistry& registry) const {
+    if (ledgers_ == nullptr) return;
+    const obs::AttrSummary merged = attribution_summary();
+    if (merged.enabled) obs::publish_attr_metrics(merged, registry);
+  }
+
+  /// Writes the per-point JSONL blame ledgers and prints the merged blame
+  /// report. finish() calls this on success; run_sweep() calls it before a
+  /// failure exit, so — like the flight dump — a sweep that dies of
+  /// timeouts still leaves its attribution evidence behind. No-op unless
+  /// --attribution was given.
+  void write_attribution_artifact() const {
+    if (ledgers_ == nullptr || args_.attribution_path.empty()) return;
+    std::ostringstream out;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      std::string label;
+      {
+        const std::lock_guard<std::mutex> lock(attr_mutex_);
+        label = attr_labels_[i];
+      }
+      if (label.empty()) label = "point " + std::to_string(i);
+      // Journal-restored points never re-ran their simulation, so their
+      // ledgers are empty; they still emit a zero total row so the file
+      // always carries one "total" line per sweep point.
+      obs::write_attr_jsonl(out, ledgers_[i].summarize(), label);
+    }
+    util::write_file_atomic(args_.attribution_path, out.str());
+    std::printf("wrote attribution ledgers (%zu points) to %s\n", pool_.size(),
+                args_.attribution_path.c_str());
+    std::printf("\n%s", analysis::attribution_report(attribution_summary(),
+                                                     args_.attr_top).c_str());
   }
 
   /// Validates every recording and writes the requested artifacts. Returns
   /// false (after printing the violation to stderr) if any point's spans
   /// are inconsistent; callers should fail the bench run in that case.
   [[nodiscard]] bool finish() {
-    if (!pool_.enabled()) return true;
-    const std::string problem = obs::check_consistency(pool_);
-    if (!problem.empty()) {
-      std::fprintf(stderr, "sweep span consistency check failed: %s\n", problem.c_str());
-      return false;
+    if (pool_.enabled()) {
+      const std::string problem = obs::check_consistency(pool_);
+      if (!problem.empty()) {
+        std::fprintf(stderr, "sweep span consistency check failed: %s\n", problem.c_str());
+        return false;
+      }
+      if (!args_.perfetto_sweep_path.empty()) {
+        pool_.save_merged(args_.perfetto_sweep_path);
+        std::printf("\nwrote merged sweep trace (%zu points) to %s\n", pool_.size(),
+                    args_.perfetto_sweep_path.c_str());
+      }
+      if (!args_.timeseries_path.empty()) {
+        pool_.save_counter_series(args_.timeseries_path);
+        std::printf("wrote counter time series to %s\n", args_.timeseries_path.c_str());
+      }
     }
-    if (!args_.perfetto_sweep_path.empty()) {
-      pool_.save_merged(args_.perfetto_sweep_path);
-      std::printf("\nwrote merged sweep trace (%zu points) to %s\n", pool_.size(),
-                  args_.perfetto_sweep_path.c_str());
-    }
-    if (!args_.timeseries_path.empty()) {
-      pool_.save_counter_series(args_.timeseries_path);
-      std::printf("wrote counter time series to %s\n", args_.timeseries_path.c_str());
-    }
+    write_attribution_artifact();
     return true;
   }
 
  private:
   ObsArgs args_;
   obs::SpanRecorderPool pool_;
+
+  // Attribution state; null unless args.attribution(). One ledger per sweep
+  // point (heap array — each ledger is several KiB of cache-line-aligned
+  // atomics), sized once so workers and the live handler hold stable
+  // pointers. The ledgers themselves are scraped lock-free; only the label
+  // strings need the mutex.
+  std::unique_ptr<obs::AttributionLedger[]> ledgers_;
+  mutable std::mutex attr_mutex_;           ///< guards attr_labels_ contents
+  std::vector<std::string> attr_labels_;
 
   // Flight-recorder state; all empty until arm_flight(). The vectors are
   // sized once (never reallocated mid-sweep — workers hold pointers into
@@ -212,6 +316,22 @@ inline void apply_telemetry(const ObsArgs& args, runner::RunnerOptions& options,
   if (args.listen_addr.empty()) return;
   options.listen_addr = args.listen_addr;
   options.metrics = metrics;
+}
+
+/// Sweep-observer-aware overload: additionally serves the observer's merged
+/// blame ledgers on the live plane — a /attribution JSON endpoint plus the
+/// sim_attr_* families folded into every /metrics scrape. The observer must
+/// outlive the runner built from these options (construct it first), since
+/// the server thread calls back into it on every scrape.
+inline void apply_telemetry(const ObsArgs& args, runner::RunnerOptions& options,
+                            obs::MetricsRegistry* metrics, SweepObserver& observer) {
+  apply_telemetry(args, options, metrics);
+  if (args.listen_addr.empty() || !observer.attribution_enabled()) return;
+  options.endpoints.push_back({"/attribution", "application/json",
+                               [&observer] { return observer.attribution_json(); }});
+  options.scrape_hook = [&observer](obs::MetricsRegistry& registry) {
+    observer.publish_attribution(registry);
+  };
 }
 
 /// Journal input-identity digest for a sweep point, from its human-readable
@@ -277,18 +397,20 @@ class SimResultCodec {
 /// status) and exit the bench with status 1 instead of throwing out of main.
 /// With an observer whose flight ring is armed, the flight dump is written
 /// before any failure exit — a sweep that dies of timeouts still leaves its
-/// evidence behind.
+/// evidence behind — and the same goes for the --attribution ledgers.
 template <typename Point, typename Fn, typename Codec>
 [[nodiscard]] auto run_sweep(runner::ExperimentRunner& pool, const ResilienceArgs& res,
                              const std::vector<Point>& points, Fn&& fn, const Codec& codec,
                              SweepObserver* obs = nullptr)
     -> std::vector<runner::detail::point_value_t<Fn, Point>> {
+  if (obs != nullptr && obs->flight_armed()) pool.note_flight_armed(obs->flight_path());
   auto settled = pool.run_settled(points, std::forward<Fn>(fn), codec);
   if (obs != nullptr && obs->flight_armed()) {
     std::vector<runner::PointOutcome> outcomes;
     outcomes.reserve(settled.size());
     for (const auto& point : settled) outcomes.push_back(point.outcome);
-    obs->dump_flight(outcomes);
+    const std::string dump = obs->dump_flight(outcomes);
+    if (!dump.empty()) pool.note_flight_dump(dump);
   }
   if (res.any()) {
     std::int64_t attempts = 0;
@@ -319,7 +441,12 @@ template <typename Point, typename Fn, typename Codec>
                    settled[i].outcome.attempts, e.what());
     }
   }
-  if (!ok) std::exit(1);
+  if (!ok) {
+    // The failed sweep still leaves its blame ledgers behind — like the
+    // flight dump above, attribution matters most for the run that died.
+    if (obs != nullptr) obs->write_attribution_artifact();
+    std::exit(1);
+  }
   std::vector<runner::detail::point_value_t<Fn, Point>> values;
   values.reserve(settled.size());
   for (auto& point : settled) values.push_back(std::move(*point.value));

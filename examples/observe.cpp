@@ -2,7 +2,9 @@
 // the whole pipeline — synthesize, trace over a lossy channel, reconstruct,
 // parse under an error budget, simulate — with every layer publishing into
 // one MetricsRegistry, the simulation recording sim-time spans (plus
-// periodic counter samples), and a wall-clock phase profiler timing the
+// periodic counter samples) and a latency-attribution ledger whose blame
+// report — with its conservation self-check — answers where the replay's
+// I/O time went, and a wall-clock phase profiler timing the
 // stages. Then drives a small multi-point cache-size sweep through the
 // experiment runner with a per-point SpanRecorderPool, merging all points
 // into one Perfetto timeline and exporting the counter samples as a JSONL
@@ -26,7 +28,9 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/attribution.hpp"
 #include "faults/fault.hpp"
+#include "obs/attr.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
@@ -135,11 +139,13 @@ int main(int argc, char** argv) {
   //    simulated time.
   std::printf("\n4. simulating the replay with sim-time span tracing...\n");
   sim::SimResult result;
+  obs::AttributionLedger ledger;
   {
     const auto scope = phases.scope("simulate");
     sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{16} * kMB);
     params.spans = &spans;
     params.counter_interval = Ticks::from_ms(100);
+    params.attribution = &ledger;
     sim::Simulator simulator(params);
     simulator.add_process("venus",
                           std::make_unique<sim::TraceReplaySource>(std::move(parsed.trace)));
@@ -147,6 +153,29 @@ int main(int argc, char** argv) {
   }
   result.publish_metrics(registry);
   std::printf("%s", result.summary().c_str());
+
+  // 4b. Blame the replay's I/O time: the attribution ledger decomposed every
+  //     op's latency into additive components, so the report's percentages
+  //     answer "where did the time go" exactly. Self-check the conservation
+  //     contract before trusting it: the components sum to the measured I/O
+  //     time, and every scope's rows close over the same grand total.
+  std::printf("\n4b. attributing the replay's I/O time...\n%s",
+              analysis::attribution_report(result.attr, /*top_n=*/5).c_str());
+  {
+    std::int64_t comp_sum = 0;
+    for (const std::int64_t ticks : result.attr.total.comp) comp_sum += ticks;
+    std::int64_t file_sum = 0;
+    std::int64_t proc_sum = 0;
+    for (const auto& entry : result.attr.files) file_sum += entry.total_ticks;
+    for (const auto& entry : result.attr.procs) proc_sum += entry.total_ticks;
+    const std::int64_t total = result.attr.total.total_ticks;
+    const bool conserved = result.attr.enabled && result.attr.total.ops > 0 &&
+                           comp_sum == total && file_sum == total && proc_sum == total;
+    std::printf("   conservation: components %s, file rows %s, process rows %s -> %s\n",
+                comp_sum == total ? "exact" : "LEAK", file_sum == total ? "exact" : "LEAK",
+                proc_sum == total ? "exact" : "LEAK", conserved ? "ok" : "FAILED");
+    if (!conserved) return 1;
+  }
 
   // 5. Sweep three cache sizes through the experiment runner, each point
   //    recording into its own slot of a SpanRecorderPool. The merged export

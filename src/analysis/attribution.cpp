@@ -1,0 +1,116 @@
+#include "analysis/attribution.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace craysim::analysis {
+
+namespace {
+
+double pct_of(std::int64_t part, std::int64_t total) {
+  return total != 0 ? 100.0 * static_cast<double>(part) / static_cast<double>(total) : 0.0;
+}
+
+/// Name of the entry's largest component ("-" when the entry is all zero).
+std::string dominant_component(const obs::AttrEntry& entry) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < obs::kAttrOpComponents; ++c) {
+    if (entry.comp[c] > entry.comp[best]) best = c;
+  }
+  if (entry.comp[best] <= 0) return "-";
+  return obs::attr_component_name(static_cast<obs::AttrComponent>(best));
+}
+
+}  // namespace
+
+TextTable build_attr_component_table(const obs::AttrSummary& summary) {
+  TextTable table({"component", "time (s)", "% of I/O time", "ops touched"});
+  const std::int64_t total = summary.total.total_ticks;
+  for (std::size_t c = 0; c < obs::kAttrOpComponents; ++c) {
+    std::int64_t touched = 0;
+    for (const std::int64_t count : summary.comp_hist[c]) touched += count;
+    table.row()
+        .cell(obs::attr_component_name(static_cast<obs::AttrComponent>(c)))
+        .num(Ticks(summary.total.comp[c]).seconds(), 3)
+        .num(pct_of(summary.total.comp[c], total), 1)
+        .integer(touched);
+  }
+  table.row()
+      .cell("total")
+      .num(Ticks(total).seconds(), 3)
+      .num(total != 0 ? 100.0 : 0.0, 1)
+      .integer(summary.total.ops);
+  return table;
+}
+
+TextTable build_attr_hotspot_table(const std::vector<obs::AttrEntry>& entries,
+                                   std::int64_t total_ticks, const std::string& scope,
+                                   std::size_t top_n) {
+  TextTable table({scope, "ops", "bytes", "I/O time (s)", "% of total", "dominant"});
+  const std::size_t n = std::min(top_n, entries.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::AttrEntry& entry = entries[i];
+    table.row()
+        .cell(entry.key)
+        .integer(entry.ops)
+        .cell(format_bytes(entry.bytes))
+        .num(Ticks(entry.total_ticks).seconds(), 3)
+        .num(pct_of(entry.total_ticks, total_ticks), 1)
+        .cell(dominant_component(entry));
+  }
+  return table;
+}
+
+TextTable build_attr_disk_table(const obs::AttrSummary& summary) {
+  TextTable table({"disk op", "ops", "bytes", "service (s)", "queue (s)", "seek (s)",
+                   "rotation (s)", "transfer (s)", "fault (s)"});
+  for (const obs::AttrDiskEntry& entry : summary.disks) {
+    const auto comp = [&](obs::AttrDiskComponent c) {
+      return Ticks(entry.comp[static_cast<std::size_t>(c)]).seconds();
+    };
+    table.row()
+        .cell(entry.kind)
+        .integer(entry.ops)
+        .cell(format_bytes(entry.bytes))
+        .num(Ticks(entry.total_ticks).seconds(), 3)
+        .num(comp(obs::AttrDiskComponent::kQueue), 3)
+        .num(comp(obs::AttrDiskComponent::kSeek), 3)
+        .num(comp(obs::AttrDiskComponent::kRotation), 3)
+        .num(comp(obs::AttrDiskComponent::kTransfer), 3)
+        .num(comp(obs::AttrDiskComponent::kFault), 3);
+  }
+  return table;
+}
+
+std::string attribution_report(const obs::AttrSummary& summary, std::size_t top_n) {
+  if (!summary.enabled) return "attribution: not collected (SimParams::attribution unset)\n";
+  if (summary.total.ops == 0) return "attribution: no I/O recorded\n";
+  std::string out = "== Where did the time go ==\n";
+  out += build_attr_component_table(summary).render();
+  const std::int64_t total = summary.total.total_ticks;
+  if (!summary.files.empty()) {
+    out += "\n== Hotspot files (top " + std::to_string(std::min(top_n, summary.files.size())) +
+           ") ==\n";
+    out += build_attr_hotspot_table(summary.files, total, "file", top_n).render();
+  }
+  if (!summary.procs.empty()) {
+    out += "\n== Hotspot processes ==\n";
+    out += build_attr_hotspot_table(summary.procs, total, "process", top_n).render();
+  }
+  if (!summary.phases.empty()) {
+    out += "\n== App phases ==\n";
+    out += build_attr_hotspot_table(summary.phases, total, "phase", top_n).render();
+  }
+  if (!summary.sizes.empty()) {
+    out += "\n== Request sizes ==\n";
+    out += build_attr_hotspot_table(summary.sizes, total, "size bucket", top_n).render();
+  }
+  if (!summary.disks.empty()) {
+    out += "\n== Disk service decomposition ==\n";
+    out += build_attr_disk_table(summary).render();
+  }
+  return out;
+}
+
+}  // namespace craysim::analysis

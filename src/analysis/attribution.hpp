@@ -1,0 +1,33 @@
+// Human-readable views over an obs::AttrSummary: the "where did the time go"
+// component table and blame-ordered top-N hotspot reports.
+#pragma once
+
+#include <string>
+
+#include "obs/attr.hpp"
+#include "util/table.hpp"
+
+namespace craysim::analysis {
+
+/// Component breakdown of total I/O time: one row per latency component with
+/// summed seconds and the share of total I/O time it explains.
+[[nodiscard]] TextTable build_attr_component_table(const obs::AttrSummary& summary);
+
+/// Top-N rows of one blame-ordered scope (summary.files / .procs / .phases /
+/// .sizes): key, ops, bytes, I/O seconds, % of total, and the scope's single
+/// most expensive component. `scope` is the first column's header.
+[[nodiscard]] TextTable build_attr_hotspot_table(const std::vector<obs::AttrEntry>& entries,
+                                                 std::int64_t total_ticks,
+                                                 const std::string& scope, std::size_t top_n);
+
+/// Disk service-time decomposition: one row per transfer kind with
+/// queue/overhead/seek/rotation/transfer/fault seconds.
+[[nodiscard]] TextTable build_attr_disk_table(const obs::AttrSummary& summary);
+
+/// The full report: component table + per-file and per-process hotspots
+/// (top_n each) + disk breakdown, with section headings. Returns a note line
+/// instead when the summary is disabled or empty.
+[[nodiscard]] std::string attribution_report(const obs::AttrSummary& summary,
+                                             std::size_t top_n = 10);
+
+}  // namespace craysim::analysis

@@ -432,7 +432,21 @@ void ExperimentRunner::start_server() {
   server_->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
   server_->handle("/metrics", obs::kPromContentType, [this] { return scrape_prometheus(); });
   server_->handle("/status", "application/json", [this] { return status_json(); });
+  for (const RunnerOptions::HttpEndpoint& endpoint : options_.endpoints) {
+    server_->handle(endpoint.path, endpoint.content_type, endpoint.handler);
+  }
   server_->start(options_.listen_addr);
+}
+
+void ExperimentRunner::note_flight_armed(const std::string& journal_path) {
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  flight_armed_ = true;
+  flight_journal_ = journal_path;
+}
+
+void ExperimentRunner::note_flight_dump(const std::string& dump_path) {
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  flight_dump_ = dump_path;
 }
 
 std::string ExperimentRunner::scrape_prometheus() const {
@@ -449,6 +463,9 @@ std::string ExperimentRunner::scrape_prometheus() const {
     scratch.gauge("runner.progress.settled").set(settled);
     scratch.gauge("runner.progress.completion").set(total > 0.0 ? settled / total : 1.0);
   }
+  // The caller's live families (e.g. sim_attr_* from a sweep's attribution
+  // ledgers) land in the same scratch, so they reset per scrape too.
+  if (options_.scrape_hook) options_.scrape_hook(scratch);
   std::ostringstream out;
   obs::PromRenderState state;
   obs::write_prometheus(out, scratch, &state);
@@ -480,7 +497,14 @@ std::string ExperimentRunner::status_json() const {
     }
   }
   out << "],\"journal\":{\"path\":\"" << obs::json_escape(options_.journal_path)
-      << "\",\"restored\":" << res_restored_.load(std::memory_order_relaxed) << "}}";
+      << "\",\"restored\":" << res_restored_.load(std::memory_order_relaxed) << "},";
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    out << "\"flight\":{\"armed\":" << (flight_armed_ ? "true" : "false") << ",\"path\":\""
+        << obs::json_escape(flight_journal_) << "\",\"dump_path\":\""
+        << obs::json_escape(flight_dump_) << "\"}";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -147,6 +147,24 @@ struct RunnerOptions {
   /// the runner. Null = runner series only.
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Extra HTTP endpoints registered on the embedded server after the
+  /// built-ins (/healthz, /metrics, /status) — the vehicle benches use to
+  /// expose /attribution. Handlers run on the server thread concurrently
+  /// with workers, so they must only read thread-safe state. Ignored when
+  /// listen_addr is empty.
+  struct HttpEndpoint {
+    std::string path;          ///< e.g. "/attribution"
+    std::string content_type;  ///< e.g. "application/json"
+    std::function<std::string()> handler;
+  };
+  std::vector<HttpEndpoint> endpoints = {};
+
+  /// Called on the per-scrape scratch registry before /metrics renders, so
+  /// callers can fold live application families (e.g. sim_attr_*) into the
+  /// exposition. Runs on the server thread; same thread-safety rules as
+  /// `endpoints`. Null = runner (+`metrics`) families only.
+  std::function<void(obs::MetricsRegistry&)> scrape_hook = {};
+
   /// True when any resilience feature is engaged; false means run_settled
   /// takes the legacy hot path with zero added cost. Deliberately excludes
   /// listen_addr: serving scrapes never changes which execution path runs.
@@ -233,6 +251,13 @@ class ExperimentRunner {
 
   /// Live progress table, or null when listen_addr was empty.
   [[nodiscard]] const SweepProgress* progress() const { return progress_.get(); }
+
+  /// Flight-recorder bookkeeping surfaced by /status: the bench observer
+  /// reports when it arms the deadline flight recorder and where a dump
+  /// landed. Thread-safe (small mutex); harmless no-ops make sense even
+  /// without a live server, so callers need no listen_addr guard.
+  void note_flight_armed(const std::string& journal_path);
+  void note_flight_dump(const std::string& dump_path);
 
   /// Runs fn(i) for every i in [0, count), spread across the pool; returns
   /// once all invocations finished. fn must not throw (the typed wrappers
@@ -485,6 +510,13 @@ class ExperimentRunner {
   // with workers; the destructor stops the server before the pool.
   std::unique_ptr<SweepProgress> progress_;
   std::unique_ptr<obs::TelemetryServer> server_;
+
+  // Flight-recorder state for /status; guarded by flight_mutex_ (written by
+  // the sweep thread, read by the server thread).
+  mutable std::mutex flight_mutex_;
+  bool flight_armed_ = false;
+  std::string flight_journal_;
+  std::string flight_dump_;
 };
 
 /// An immutable parsed trace shared across sweep points — parse once, replay

@@ -51,6 +51,10 @@ void SimResult::publish_metrics(obs::MetricsRegistry& registry, std::string_view
   count("disk.redirected_ios", disk.redirected_ios);
   count("disk.latency_spikes", disk.latency_spikes);
   gauge("disk.retry_backoff_s", disk.retry_backoff_time.seconds());
+
+  // sim.attr.* only exists for attributed runs, so the metric-name golden
+  // for plain runs is untouched (same pattern as the fault summary line).
+  if (attr.enabled) obs::publish_attr_metrics(attr, registry, p + ".attr");
 }
 
 std::string SimResult::summary() const {
@@ -93,6 +97,24 @@ std::string SimResult::summary() const {
                   static_cast<long long>(disk.redirected_ios),
                   static_cast<long long>(disk.latency_spikes));
     out += buf;
+  }
+  // Attribution digest: only for attributed runs (same conditional-section
+  // contract as the fault line), so plain summaries stay byte-identical.
+  if (attr.enabled) {
+    const auto total_ticks = static_cast<double>(attr.total.total_ticks);
+    std::snprintf(buf, sizeof buf, "attribution: %lld ops, io time %.2f s |",
+                  static_cast<long long>(attr.total.ops),
+                  Ticks(attr.total.total_ticks).seconds());
+    out += buf;
+    for (std::size_t c = 0; c < obs::kAttrOpComponents; ++c) {
+      const double pct = total_ticks > 0.0
+                             ? 100.0 * static_cast<double>(attr.total.comp[c]) / total_ticks
+                             : 0.0;
+      std::snprintf(buf, sizeof buf, " %s %.1f%%%s",
+                    obs::attr_component_name(static_cast<obs::AttrComponent>(c)), pct,
+                    c + 1 < obs::kAttrOpComponents ? " |" : "\n");
+      out += buf;
+    }
   }
   for (const auto& p : processes) {
     std::snprintf(buf, sizeof buf,
@@ -187,6 +209,13 @@ class Cursor {
     throw Error("sim result parse: " + why + " at offset " + std::to_string(at_));
   }
 
+  /// True when only whitespace remains — how the parser detects the optional
+  /// trailing attribution section (absent in pre-attribution journals).
+  [[nodiscard]] bool at_end() {
+    skip_space();
+    return at_ >= text_.size();
+  }
+
  private:
   void skip_space() {
     while (at_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[at_]))) ++at_;
@@ -195,6 +224,28 @@ class Cursor {
   std::string_view text_;
   std::size_t at_ = 0;
 };
+
+void put_attr_entry(std::string& out, const obs::AttrEntry& e) {
+  out += "attr.e";
+  put_i64(out, e.ops);
+  put_i64(out, e.write_ops);
+  put_i64(out, e.bytes);
+  put_i64(out, e.total_ticks);
+  for (const std::int64_t v : e.comp) put_i64(out, v);
+  out += ' ' + std::to_string(e.key.size()) + ':' + e.key + '\n';
+}
+
+obs::AttrEntry read_attr_entry(Cursor& in) {
+  in.expect("attr.e");
+  obs::AttrEntry e;
+  e.ops = in.i64();
+  e.write_ops = in.i64();
+  e.bytes = in.i64();
+  e.total_ticks = in.i64();
+  for (std::int64_t& v : e.comp) v = in.i64();
+  e.key = std::string(in.blob());
+  return e;
+}
 
 BinnedSeries read_series(Cursor& in, const char* name) {
   in.expect(name);
@@ -255,6 +306,40 @@ std::string serialize_sim_result(const SimResult& result) {
   const std::string trace_text =
       result.annotated_trace.empty() ? std::string() : trace::serialize_trace(result.annotated_trace);
   out += "trace " + std::to_string(trace_text.size()) + ':' + trace_text + '\n';
+  // Optional trailing section: only attributed runs emit it, so journals of
+  // plain runs stay byte-identical to pre-attribution builds, and the parser
+  // treats its absence as attr.enabled == false.
+  if (result.attr.enabled) {
+    const obs::AttrSummary& a = result.attr;
+    out += "attr 1";
+    put_i64(out, static_cast<std::int64_t>(a.files.size()));
+    put_i64(out, static_cast<std::int64_t>(a.procs.size()));
+    put_i64(out, static_cast<std::int64_t>(a.phases.size()));
+    put_i64(out, static_cast<std::int64_t>(a.sizes.size()));
+    put_i64(out, static_cast<std::int64_t>(a.disks.size()));
+    out += '\n';
+    put_attr_entry(out, a.total);
+    for (const obs::AttrEntry& e : a.files) put_attr_entry(out, e);
+    for (const obs::AttrEntry& e : a.procs) put_attr_entry(out, e);
+    for (const obs::AttrEntry& e : a.phases) put_attr_entry(out, e);
+    for (const obs::AttrEntry& e : a.sizes) put_attr_entry(out, e);
+    for (const obs::AttrDiskEntry& e : a.disks) {
+      out += "attr.d";
+      put_i64(out, e.ops);
+      put_i64(out, e.bytes);
+      put_i64(out, e.total_ticks);
+      for (const std::int64_t v : e.comp) put_i64(out, v);
+      out += ' ' + std::to_string(e.kind.size()) + ':' + e.kind + '\n';
+    }
+    out += "attr.lat";
+    for (const std::int64_t v : a.latency) put_i64(out, v);
+    out += '\n';
+    for (const auto& hist : a.comp_hist) {
+      out += "attr.h";
+      for (const std::int64_t v : hist) put_i64(out, v);
+      out += '\n';
+    }
+  }
   return out;
 }
 
@@ -314,6 +399,41 @@ SimResult parse_sim_result(std::string_view text) {
   in.expect("trace");
   const std::string_view trace_text = in.blob();
   if (!trace_text.empty()) result.annotated_trace = trace::parse_trace(trace_text);
+  if (!in.at_end()) {
+    in.expect("attr");
+    if (in.i64() != 1) in.fail("unsupported attribution version");
+    obs::AttrSummary& a = result.attr;
+    a.enabled = true;
+    const std::int64_t files = in.i64();
+    const std::int64_t procs = in.i64();
+    const std::int64_t phases = in.i64();
+    const std::int64_t sizes = in.i64();
+    const std::int64_t disks = in.i64();
+    if (files < 0 || procs < 0 || phases < 0 || sizes < 0 || disks < 0) {
+      in.fail("negative attribution table size");
+    }
+    a.total = read_attr_entry(in);
+    for (std::int64_t i = 0; i < files; ++i) a.files.push_back(read_attr_entry(in));
+    for (std::int64_t i = 0; i < procs; ++i) a.procs.push_back(read_attr_entry(in));
+    for (std::int64_t i = 0; i < phases; ++i) a.phases.push_back(read_attr_entry(in));
+    for (std::int64_t i = 0; i < sizes; ++i) a.sizes.push_back(read_attr_entry(in));
+    for (std::int64_t i = 0; i < disks; ++i) {
+      in.expect("attr.d");
+      obs::AttrDiskEntry e;
+      e.ops = in.i64();
+      e.bytes = in.i64();
+      e.total_ticks = in.i64();
+      for (std::int64_t& v : e.comp) v = in.i64();
+      e.kind = std::string(in.blob());
+      a.disks.push_back(std::move(e));
+    }
+    in.expect("attr.lat");
+    for (std::int64_t& v : a.latency) v = in.i64();
+    for (auto& hist : a.comp_hist) {
+      in.expect("attr.h");
+      for (std::int64_t& v : hist) v = in.i64();
+    }
+  }
   return result;
 }
 

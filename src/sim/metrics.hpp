@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/attr.hpp"
 #include "trace/stream.hpp"
 #include "util/time_series.hpp"
 #include "util/units.hpp"
@@ -94,6 +95,11 @@ struct SimResult {
   /// Logical requests with cache-hit / readahead-hit annotations (appendix:
   /// "for data analysis purposes only"); filled when SimParams::record_trace.
   trace::Trace annotated_trace;
+  /// Latency attribution snapshot (obs/attr.hpp); `attr.enabled` only when
+  /// the run had SimParams::attribution set. A disabled summary adds nothing
+  /// to summary(), publish_metrics, or the serialized form, keeping
+  /// attribution-off runs byte-identical to pre-attribution builds.
+  obs::AttrSummary attr;
 
   [[nodiscard]] double cpu_utilization() const {
     const Ticks denom = cpu_busy + cpu_idle;

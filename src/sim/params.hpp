@@ -14,6 +14,7 @@
 #include "util/units.hpp"
 
 namespace craysim::obs {
+class AttributionLedger;
 class SpanRecorder;
 }
 
@@ -120,6 +121,16 @@ struct SimParams {
   /// The sampling handler observes state without mutating it, so results
   /// stay bit-identical either way.
   Ticks counter_interval = Ticks::zero();
+  /// Latency attribution sink (non-owning; must outlive the simulator; safe
+  /// to share between concurrently running simulators — the ledger is
+  /// multi-writer). When set, the simulator decomposes every request's
+  /// latency into additive components and every disk transfer's service time
+  /// into queue/seek/rotation/transfer/fault parts, accumulated in the
+  /// ledger's fixed-size blame tables (see obs/attr.hpp, including the
+  /// conservation contract). When null — the default — every stamping site
+  /// is a single predicted branch and results, journal bytes, and metrics
+  /// are bit-identical to an unattributed build.
+  obs::AttributionLedger* attribution = nullptr;
   /// Cooperative cancellation (non-owning; must outlive the simulator). When
   /// set, the event loop polls the token every few thousand events and
   /// abandons the run with CancelledError once it is cancelled or its

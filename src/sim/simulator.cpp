@@ -25,6 +25,7 @@ Simulator::Simulator(SimParams params) : params_(std::move(params)) {
   if (params_.cpu_count < 1) throw ConfigError("cpu_count must be >= 1");
   cpus_.resize(static_cast<std::size_t>(params_.cpu_count));
   spans_ = params_.spans;
+  attr_ = params_.attribution;
   disk_ = std::make_unique<DiskModel>(params_.disk, params_.position, params_.disk_count,
                                       params_.disk_queueing, params_.seed ^ 0xd15c,
                                       params_.faults);
@@ -61,6 +62,66 @@ std::uint32_t Simulator::add_app(const workload::AppProfile& profile) {
 Ticks Simulator::hit_delay(Bytes bytes) const {
   return params_.cache.hit_setup +
          Ticks::from_us(params_.cache.hit_us_per_kb * static_cast<double>(bytes) / 1024.0);
+}
+
+void Simulator::attr_begin(Ticks now, Ticks t, Proc& proc, const workload::Request& req,
+                           std::uint32_t gfile) {
+  if (!proc.attr_active) {
+    // A long compute gap before this request starts a new burst epoch.
+    if (proc.attr_started && req.compute >= obs::kAttrPhaseGap) ++proc.attr_phase;
+    proc.attr_started = true;
+    proc.attr_active = true;
+    proc.attr_issue = now;
+    proc.attr_mark = now;
+    proc.attr_comp = {};
+    proc.attr_bytes = req.length;
+    proc.attr_write = req.write;
+    proc.attr_file = gfile;
+  } else {
+    // Space-wait retry re-entering issue_io: the gap since the wake is
+    // scheduler (not-running) time — context switch plus ready-queue wait.
+    attr_add(proc, obs::AttrComponent::kSched, now);
+  }
+  attr_add(proc, obs::AttrComponent::kFsCall, t);
+}
+
+void Simulator::attr_add(Proc& proc, obs::AttrComponent component, Ticks until) {
+  // Signed on purpose: joined completions can land inside the fs_call window
+  // (see unblock()'s clamp comment), and keeping the same unclamped
+  // arithmetic as blocked_total is what makes the ledger's miss+space total
+  // equal the summed per-process blocked time exactly.
+  proc.attr_comp[static_cast<std::size_t>(component)] += (until - proc.attr_mark).count();
+  proc.attr_mark = until;
+}
+
+void Simulator::attr_finish(Proc& proc, Ticks end) {
+  assert(proc.attr_mark == end && "attribution components must telescope to the op end");
+  obs::AttributionLedger::OpRecord rec;
+  rec.pid = proc.pid;
+  rec.file_key = proc.attr_file;
+  rec.phase = proc.attr_phase;
+  rec.bytes = proc.attr_bytes;
+  rec.write = proc.attr_write;
+  rec.total = end - proc.attr_issue;
+  rec.comp = proc.attr_comp;
+  attr_->record_op(rec);
+  proc.attr_active = false;
+}
+
+void Simulator::attr_record_disk(IoOp::Kind kind, Bytes bytes,
+                                 const obs::AttrDiskBreakdown& breakdown) {
+  // The two kind enums are kept in lockstep so this cast is the whole map.
+  static_assert(static_cast<int>(obs::AttrDiskKind::kFetch) ==
+                static_cast<int>(IoOp::Kind::kFetch));
+  static_assert(static_cast<int>(obs::AttrDiskKind::kReadahead) ==
+                static_cast<int>(IoOp::Kind::kReadAhead));
+  static_assert(static_cast<int>(obs::AttrDiskKind::kFlush) ==
+                static_cast<int>(IoOp::Kind::kFlush));
+  static_assert(static_cast<int>(obs::AttrDiskKind::kWriteThrough) ==
+                static_cast<int>(IoOp::Kind::kWriteThrough));
+  static_assert(static_cast<int>(obs::AttrDiskKind::kBypass) ==
+                static_cast<int>(IoOp::Kind::kBypass));
+  attr_->record_disk(static_cast<obs::AttrDiskKind>(kind), bytes, breakdown);
 }
 
 void Simulator::push_event(Ticks time, EventKind kind, std::uint64_t arg) {
@@ -116,6 +177,10 @@ void Simulator::note_evictions(std::int64_t before, Ticks t) {
 SimResult Simulator::run() {
   if (procs_.empty()) throw ConfigError("simulation has no processes");
   if (spans_) emit_span_metadata();
+  if (attr_) {
+    // Register labels up front so a live mid-run scrape resolves names.
+    for (const Proc& proc : procs_) attr_->note_process(proc.pid, proc.name);
+  }
   now_ = Ticks::zero();
   for (Cpu& cpu : cpus_) {
     cpu.running = kNoProcess;
@@ -204,6 +269,7 @@ SimResult Simulator::run() {
     }
   }
   result_.disk = disk_->metrics();
+  if (attr_) result_.attr = attr_->summarize();
   return std::move(result_);
 }
 
@@ -343,6 +409,11 @@ void Simulator::unblock(Ticks now, std::uint32_t pid, Ticks extra_delay) {
   if (spans_) {
     spans_->end(obs::track::kProcesses, pid, "blocked:io", std::max(now, proc.blocked_since));
   }
+  if (attr_ && proc.attr_active) {
+    attr_add(proc, obs::AttrComponent::kMiss, now);
+    attr_add(proc, obs::AttrComponent::kInterrupt, now + extra_delay);
+    attr_finish(proc, now + extra_delay);
+  }
   proc.blocked_total += now - proc.blocked_since;
   advance_to_next_request(proc);
   proc.state = PState::kReady;
@@ -380,7 +451,13 @@ void Simulator::record_disk_traffic(Ticks start, Ticks done, Bytes bytes, bool w
 void Simulator::submit_run_with_id(std::uint64_t id, Ticks now, const BlockRun& run, bool write,
                                    IoOp::Kind kind, std::uint32_t sync_waiter) {
   const Bytes bs = cache_->block_size();
-  const Ticks done = disk_->submit(now, run.file, run.first_block * bs, run.bytes(bs), write);
+  obs::AttrDiskBreakdown breakdown;
+  const Ticks done = disk_->submit(now, run.file, run.first_block * bs, run.bytes(bs), write,
+                                   attr_ ? &breakdown : nullptr);
+  if (attr_) {
+    assert(breakdown.total() == done - now && "disk breakdown must sum to service time");
+    attr_record_disk(kind, run.bytes(bs), breakdown);
+  }
   record_disk_traffic(now, done, run.bytes(bs), write);
   IoOp op;
   op.kind = kind;
@@ -412,7 +489,13 @@ Simulator::IoOp& Simulator::just_submitted(std::uint64_t id) {
 std::uint64_t Simulator::submit_bypass(Ticks now, std::uint32_t gfile, Bytes offset, Bytes length,
                                        bool write) {
   const std::uint64_t id = next_op_++;
-  const Ticks done = disk_->submit(now, gfile, offset, length, write);
+  obs::AttrDiskBreakdown breakdown;
+  const Ticks done = disk_->submit(now, gfile, offset, length, write,
+                                   attr_ ? &breakdown : nullptr);
+  if (attr_) {
+    assert(breakdown.total() == done - now && "disk breakdown must sum to service time");
+    attr_record_disk(IoOp::Kind::kBypass, length, breakdown);
+  }
   record_disk_traffic(now, done, length, write);
   IoOp op;
   op.kind = IoOp::Kind::kBypass;
@@ -445,6 +528,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     }
   };
   const std::uint32_t gfile = global_file(pid, req.file);
+  if (attr_) attr_begin(now, t, proc, req, gfile);
 
   // --- No cache configured: straight to disk. -----------------------------
   if (!cache_) {
@@ -452,6 +536,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
     const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, req.write);
     if (req.async) {
+      if (attr_) attr_finish(proc, t);
       continue_running(t, pid, Ticks::zero());
     } else {
       just_submitted(id).waiters.push_back(pid);
@@ -512,7 +597,18 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
       note_evictions(ra_evictions_before, t);
     }
     if (waits == 0) {
-      continue_running(t, pid, plan.full_hit ? hit_delay(req.length) : Ticks::zero());
+      const Ticks stall = plan.full_hit ? hit_delay(req.length) : Ticks::zero();
+      if (attr_) {
+        // A full hit served from read-ahead blocks is the prefetcher's
+        // credit; a plain hit is the cache's own service cost.
+        if (stall > Ticks::zero()) {
+          attr_add(proc, plan.readahead_hit ? obs::AttrComponent::kReadahead
+                                            : obs::AttrComponent::kHit,
+                   t + stall);
+        }
+        attr_finish(proc, t + stall);
+      }
+      continue_running(t, pid, stall);
     } else {
       block_for_io(t, proc, waits);
     }
@@ -532,6 +628,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     record_request(t, pid, req, /*cache_miss=*/true, /*readahead_hit=*/false);
     const std::uint64_t id = submit_bypass(t, gfile, req.offset, req.length, true);
     if (req.async) {
+      if (attr_) attr_finish(proc, t);
       continue_running(t, pid, Ticks::zero());
     } else {
       just_submitted(id).waiters.push_back(pid);
@@ -541,7 +638,12 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
   }
   if (plan.absorbed) {
     record_request(t, pid, req, /*cache_miss=*/false, /*readahead_hit=*/false);
-    continue_running(t, pid, hit_delay(req.length));
+    const Ticks stall = hit_delay(req.length);
+    if (attr_) {
+      attr_add(proc, obs::AttrComponent::kAbsorb, t + stall);
+      attr_finish(proc, t + stall);
+    }
+    continue_running(t, pid, stall);
     if (cache_->over_watermark()) trigger_flush(t);
     return;
   }
@@ -556,6 +658,7 @@ void Simulator::issue_io(Ticks now, std::uint32_t pid) {
     }
   }
   if (waits == 0) {
+    if (attr_) attr_finish(proc, t);
     continue_running(t, pid, Ticks::zero());
   } else {
     block_for_io(t, proc, waits);
@@ -603,6 +706,7 @@ void Simulator::wake_space_waiters(Ticks now) {
     if (spans_) {
       spans_->end(obs::track::kProcesses, pid, "blocked:space", std::max(now, proc.blocked_since));
     }
+    if (attr_ && proc.attr_active) attr_add(proc, obs::AttrComponent::kSpace, now);
     proc.blocked_total += now - proc.blocked_since;
     proc.state = PState::kReady;
     ready_.push_back(pid);

@@ -17,11 +17,14 @@
 //    preempting the running one.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/attr.hpp"
 
 #include "sim/cache.hpp"
 #include "sim/metrics.hpp"
@@ -93,6 +96,17 @@ class Simulator {
     std::int64_t io_count = 0;
     Bytes bytes_read = 0;
     Bytes bytes_written = 0;
+    // Latency attribution state for the logical request in flight; only
+    // touched when SimParams::attribution is set (see attr_begin/attr_add).
+    bool attr_active = false;   ///< an attributed op is between issue and finish
+    bool attr_started = false;  ///< at least one op issued (phase-gap detection)
+    std::uint32_t attr_phase = 0;  ///< burst epoch ordinal (obs::kAttrPhaseGap)
+    std::uint32_t attr_file = 0;   ///< global file id of the op in flight
+    Bytes attr_bytes = 0;
+    bool attr_write = false;
+    Ticks attr_issue;  ///< when issue_io first saw the request
+    Ticks attr_mark;   ///< end of the last stamped component
+    std::array<std::int64_t, obs::kAttrOpComponents> attr_comp{};
   };
 
   struct IoOp {
@@ -162,6 +176,20 @@ class Simulator {
   /// bookkeeping bug that must fail loudly (in debug builds) rather than
   /// dereference null.
   [[nodiscard]] IoOp& just_submitted(std::uint64_t id);
+  /// Latency attribution stamping (call sites guard on attr_ != nullptr, so
+  /// the off path is one predicted branch). attr_begin opens the record for
+  /// `proc`'s pending request — or, on a space-wait retry re-entry, charges
+  /// the not-running gap to kSched — and charges now→t to kFsCall; attr_add
+  /// charges mark→until to one component (signed, unclamped — the same
+  /// arithmetic as blocked_total, which is what makes miss+space match the
+  /// summed blocked time exactly); attr_finish commits the record ending at
+  /// `end`, where the telescoped components sum to end - attr_issue exactly.
+  void attr_begin(Ticks now, Ticks t, Proc& proc, const workload::Request& req,
+                  std::uint32_t gfile);
+  void attr_add(Proc& proc, obs::AttrComponent component, Ticks until);
+  void attr_finish(Proc& proc, Ticks end);
+  void attr_record_disk(IoOp::Kind kind, Bytes bytes,
+                        const obs::AttrDiskBreakdown& breakdown);
   [[nodiscard]] std::uint32_t global_file(std::uint32_t pid, std::uint32_t file) const {
     return (pid << 20) | file;
   }
@@ -193,6 +221,7 @@ class Simulator {
   std::size_t finished_ = 0;
   std::uint32_t next_trace_op_ = 1;
   obs::SpanRecorder* spans_ = nullptr;  ///< copied from params; null = off
+  obs::AttributionLedger* attr_ = nullptr;  ///< copied from params; null = off
 };
 
 }  // namespace craysim::sim

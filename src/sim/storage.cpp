@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/attr.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
 
@@ -112,7 +113,8 @@ std::size_t DiskModel::run_fault_schedule(std::size_t idx, Ticks& fault_delay) {
   throw FaultError("disk I/O could not complete after exhausting the retry schedule");
 }
 
-Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length, bool write) {
+Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length, bool write,
+                        obs::AttrDiskBreakdown* attr) {
   const std::int64_t pos = position_of(file, offset);
   std::size_t idx = file % disks_.size();
   Ticks fault_delay = Ticks::zero();
@@ -128,7 +130,12 @@ Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes lengt
   }
   DiskState& disk = disks_[idx];
 
-  Ticks access = params_.controller_overhead + transfer_time(length) + fault_delay;
+  // The completion time is the integer sum of these named terms; the
+  // attribution breakdown reports the identical terms, so attributed and
+  // plain runs stay bit-identical (integer addition reassociates exactly).
+  const Ticks transfer = transfer_time(length);
+  Ticks seek = Ticks::zero();
+  Ticks rotation = Ticks::zero();
   const bool sequential = disk.head_valid && pos == disk.head;
   if (!sequential) {
     const std::int64_t distance = disk.head_valid ? std::abs(pos - disk.head)
@@ -137,9 +144,10 @@ Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes lengt
         std::min(1.0, static_cast<double>(distance) / static_cast<double>(position_.span));
     const double seek_range =
         static_cast<double>((params_.max_seek - params_.min_seek).count());
-    access += params_.min_seek + Ticks(static_cast<std::int64_t>(seek_range * std::sqrt(norm)));
-    access += Ticks(rng_.uniform_int(0, params_.max_rotation.count()));
+    seek = params_.min_seek + Ticks(static_cast<std::int64_t>(seek_range * std::sqrt(norm)));
+    rotation = Ticks(rng_.uniform_int(0, params_.max_rotation.count()));
   }
+  const Ticks access = params_.controller_overhead + transfer + fault_delay + seek + rotation;
   disk.head = pos + length;
   disk.head_valid = true;
 
@@ -148,6 +156,14 @@ Ticks DiskModel::submit(Ticks now, std::uint32_t file, Bytes offset, Bytes lengt
     start = std::max(now, disk.free_at);
     metrics_.queue_wait_time += start - now;
     disk.free_at = start + access;
+  }
+  if (attr != nullptr) {
+    attr->queue = start - now;
+    attr->overhead = params_.controller_overhead;
+    attr->seek = seek;
+    attr->rotation = rotation;
+    attr->transfer = transfer;
+    attr->fault = fault_delay;
   }
   metrics_.busy_time += access;
   if (write) {

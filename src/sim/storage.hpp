@@ -20,6 +20,10 @@
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
+namespace craysim::obs {
+struct AttrDiskBreakdown;
+}
+
 namespace craysim::sim {
 
 class DiskModel {
@@ -38,8 +42,13 @@ class DiskModel {
   /// goes offline and its I/Os redirect to the next surviving disk, and the
   /// simulation keeps running as long as one disk lives. Throws FaultError
   /// only when no device can complete the transfer.
+  /// `attr`, when non-null, receives the additive service-time decomposition
+  /// (queue/overhead/seek/rotation/transfer/fault; their sum equals the
+  /// returned completion time minus `now`). The breakdown is computed from
+  /// the same integer terms the completion time sums, so passing it never
+  /// changes the result.
   [[nodiscard]] Ticks submit(Ticks now, std::uint32_t file, Bytes offset, Bytes length,
-                             bool write);
+                             bool write, obs::AttrDiskBreakdown* attr = nullptr);
 
   /// Attaches a sim-time span sink: each transfer then emits `queue` and
   /// `read`/`write` slices on the disk's track (obs::track::kDisks, tid =

@@ -10,9 +10,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -27,11 +30,35 @@
 #include "obs/sanitize.hpp"
 #include "obs/span.hpp"
 #include "runner/runner.hpp"
+#include "sim/simulator.hpp"
 #include "sweep_obs.hpp"
 #include "util/units.hpp"
+#include "workload/generator.hpp"
 
 namespace craysim {
 namespace {
+
+/// A few-request source so chaos-sweep points run a real (but tiny)
+/// simulation, keeping the attribution ledger writes concurrent with the
+/// scraper's snapshot reads.
+class TinySource final : public workload::RequestSource {
+ public:
+  std::optional<workload::Request> next() override {
+    if (issued_ >= 3) return std::nullopt;
+    workload::Request r;
+    r.compute = Ticks::from_ms(1);
+    r.file = 1;
+    r.offset = Bytes{issued_} * 64 * kKiB;
+    r.length = 64 * kKiB;
+    r.write = (issued_ % 2) == 0;
+    ++issued_;
+    return r;
+  }
+  Ticks final_compute() const override { return Ticks::zero(); }
+
+ private:
+  std::int64_t issued_ = 0;
+};
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "obs_server_" + name + "_" + std::to_string(::getpid());
@@ -263,13 +290,20 @@ struct U64Codec {
 
 TEST(RunnerLivePlane, ConcurrentScrapesDuringChaosSweepStayClean) {
   // The sanitizer-matrix centerpiece: four workers retrying hang- and
-  // fail-injected points under a deadline while a scraper hammers /metrics
-  // and /status. Any unsynchronized tally read shows up under TSan here.
+  // fail-injected points under a deadline while a scraper hammers /metrics,
+  // /status, and /attribution. Every point runs a real (tiny) simulation
+  // writing into the observer's attribution ledgers, so the scraper's
+  // snapshot reads race genuine ledger writes. Any unsynchronized tally
+  // read shows up under TSan here.
   const std::string journal = temp_path("chaos.journal");
   std::remove(journal.c_str());
+  bench::ObsArgs obs_args;
+  obs_args.listen_addr = "127.0.0.1:0";
+  obs_args.attribution_path = temp_path("chaos_attr.jsonl");
+  bench::SweepObserver observer(obs_args, 24);
+  ASSERT_TRUE(observer.attribution_enabled());
   runner::RunnerOptions options;
   options.threads = 4;
-  options.listen_addr = "127.0.0.1:0";
   options.journal_path = journal;
   options.point_deadline = std::chrono::milliseconds(80);
   options.max_attempts = 2;
@@ -277,12 +311,16 @@ TEST(RunnerLivePlane, ConcurrentScrapesDuringChaosSweepStayClean) {
   options.chaos.fail_rate = 0.2;
   options.chaos.hang_rate = 0.3;
   options.chaos.seed = 0xC4A05;
+  bench::apply_telemetry(obs_args, options, nullptr, observer);
   runner::ExperimentRunner pool(options);
   ASSERT_NE(pool.telemetry_server(), nullptr);
   const std::uint16_t port = pool.telemetry_server()->port();
 
-  // The plane is live from construction, before any sweep begins.
-  EXPECT_EQ(obs::http_get("127.0.0.1", port, "/status").status, 200);
+  // The plane is live from construction, before any sweep begins — and the
+  // flight recorder reports as unarmed until a journaled deadline sweep.
+  const auto idle_status = obs::http_get("127.0.0.1", port, "/status");
+  EXPECT_EQ(idle_status.status, 200);
+  EXPECT_NE(idle_status.body.find("\"flight\":{\"armed\":false"), std::string::npos);
   EXPECT_EQ(obs::http_get("127.0.0.1", port, "/metrics").status, 200);
 
   std::atomic<bool> done{false};
@@ -293,7 +331,10 @@ TEST(RunnerLivePlane, ConcurrentScrapesDuringChaosSweepStayClean) {
       try {
         const auto metrics = obs::http_get("127.0.0.1", port, "/metrics");
         const auto status = obs::http_get("127.0.0.1", port, "/status");
-        if (metrics.status != 200 || status.status != 200 || status.body.empty()) {
+        const auto attr = obs::http_get("127.0.0.1", port, "/attribution");
+        if (metrics.status != 200 || status.status != 200 || status.body.empty() ||
+            attr.status != 200 ||
+            attr.body.find("\"craysim_attribution\":1") == std::string::npos) {
           scrape_errors.fetch_add(1);
         }
         scrapes.fetch_add(1);
@@ -308,8 +349,12 @@ TEST(RunnerLivePlane, ConcurrentScrapesDuringChaosSweepStayClean) {
   std::iota(points.begin(), points.end(), std::size_t{0});
   const auto settled = pool.run_settled(
       points,
-      [](std::size_t i) -> std::uint64_t {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      [&](std::size_t i) -> std::uint64_t {
+        sim::SimParams params = sim::SimParams::paper_main_memory(Bytes{1} * kMB);
+        observer.instrument(i, "chaos point " + std::to_string(i), params);
+        sim::Simulator simulator(params);
+        simulator.add_process("tiny", std::make_unique<TinySource>());
+        (void)simulator.run();
         return i * i;
       },
       U64Codec{});
@@ -331,6 +376,30 @@ TEST(RunnerLivePlane, ConcurrentScrapesDuringChaosSweepStayClean) {
   EXPECT_NE(status.body.find("\"settled\":24"), std::string::npos);
   EXPECT_NE(status.body.find("\"resilient\":true"), std::string::npos);
   EXPECT_NE(status.body.find(obs::json_escape(journal)), std::string::npos);
+
+  // The merged blame ledgers are now non-empty: the /attribution payload
+  // names the simulated process and the scrape hook folds the sim_attr_*
+  // families into /metrics.
+  const auto attr = obs::http_get("127.0.0.1", port, "/attribution");
+  EXPECT_EQ(attr.status, 200);
+  EXPECT_NE(attr.body.find("\"craysim_attribution\":1"), std::string::npos);
+  EXPECT_NE(attr.body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(attr.body.find("\"tiny\""), std::string::npos);
+  const auto metrics = obs::http_get("127.0.0.1", port, "/metrics");
+  EXPECT_NE(metrics.body.find("sim_attr_ops "), std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE sim_attr_io_time_s gauge\n"), std::string::npos);
+
+  // The sweep glue forwards flight-recorder arm/dump transitions to /status.
+  const std::string flight_path = journal + ".flight.json";
+  pool.note_flight_armed(flight_path);
+  const auto armed = obs::http_get("127.0.0.1", port, "/status");
+  EXPECT_NE(armed.body.find("\"flight\":{\"armed\":true,\"path\":\"" +
+                            obs::json_escape(flight_path) + "\",\"dump_path\":\"\"}"),
+            std::string::npos);
+  pool.note_flight_dump(flight_path);
+  const auto dumped = obs::http_get("127.0.0.1", port, "/status");
+  EXPECT_NE(dumped.body.find("\"dump_path\":\"" + obs::json_escape(flight_path) + "\""),
+            std::string::npos);
   std::remove(journal.c_str());
 }
 
@@ -430,14 +499,14 @@ TEST(SweepObserverFlight, DumpsTimedOutPointsWithEventTails) {
   params.spans->end(1, 1, "disk.read", Ticks::from_ms(4));
 
   std::vector<runner::PointOutcome> outcomes(3);
-  // All-ok outcomes write nothing.
-  observer.dump_flight(outcomes);
+  // All-ok outcomes write nothing and report no dump path.
+  EXPECT_EQ(observer.dump_flight(outcomes), "");
   EXPECT_FALSE(file_exists(flight_file));
 
   outcomes[1].status = runner::PointStatus::kTimedOut;
   outcomes[1].attempts = 2;
   outcomes[1].error = "deadline exceeded";
-  observer.dump_flight(outcomes);
+  EXPECT_EQ(observer.dump_flight(outcomes), flight_file);
   ASSERT_TRUE(file_exists(flight_file));
   const std::string dump = slurp(flight_file);
   EXPECT_NE(dump.find("\"craysim_flight\":1"), std::string::npos);

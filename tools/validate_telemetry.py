@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validate craysim telemetry artifacts: Perfetto JSON, metrics JSONL,
-counter time-series JSONL, and sweep checkpoint journals.
+counter time-series JSONL, sweep checkpoint journals, and latency
+attribution JSONL.
 
 Usage:
     tools/validate_telemetry.py --perfetto trace.json --metrics metrics.jsonl
@@ -8,6 +9,7 @@ Usage:
         --timeseries series.jsonl
     tools/validate_telemetry.py --journal sweep.journal
     tools/validate_telemetry.py --prom metrics.prom
+    tools/validate_telemetry.py --attr attribution.jsonl
 
 Checks (any failure exits nonzero, printing what broke):
   Perfetto (Chrome trace-event JSON), including SpanRecorderPool merges
@@ -49,11 +51,23 @@ Checks (any failure exits nonzero, printing what broke):
     * histogram buckets have monotone nondecreasing cumulative counts in
       increasing le order, ending at le="+Inf" with count == <family>_count
     * summary quantile samples carry a quantile label in [0, 1]
+  Latency attribution JSONL (--attr, SweepObserver's --attribution output;
+  see docs/OBSERVABILITY.md):
+    * every line is a JSON object typed total/file/proc/phase/size/disk/
+      latency_hist with a "point" label
+    * entry lines carry the full component set, with every component summing
+      exactly to the line's io_time_us (the per-op conservation invariant,
+      surviving serialization)
+    * per point: exactly one total and one latency_hist line; each scope's
+      rows (file/proc/phase/size) sum back to the total's ops and
+      io_time_us; the latency histogram's counts sum to the total op count
+    * disk lines' queue/overhead/seek/rotation/transfer/fault components sum
+      exactly to their total_us
 
 CI's telemetry smoke job runs this over examples/observe's output (including
 the merged multi-point sweep trace), the live-telemetry smoke job over a
-mid-sweep /metrics scrape, and the crash-drill job over the journal the
-drill leaves behind.
+mid-sweep /metrics scrape and the sweep's attribution JSONL, and the
+crash-drill job over the journal the drill leaves behind.
 """
 
 import argparse
@@ -420,6 +434,137 @@ def validate_prom(path):
           f"{len(buckets)} histograms, HELP/TYPE paired, no duplicate series)")
 
 
+ATTR_OP_COMPONENTS = (
+    "fs_call", "hit", "readahead", "absorb", "miss", "space", "interrupt", "sched",
+)
+ATTR_DISK_COMPONENTS = ("queue", "overhead", "seek", "rotation", "transfer", "fault")
+ATTR_DISK_KINDS = ("fetch", "readahead", "flush", "writethrough", "bypass")
+ATTR_SCOPES = ("file", "proc", "phase", "size")
+
+
+def attr_components_of(path, lineno, obj, expected_names):
+    """The line's components dict, checked against the pinned name set.
+    Individual components may be negative (a completion can land inside the
+    fs-call window), so only the sum is constrained — by the caller."""
+    components = obj.get("components")
+    if not isinstance(components, dict) or tuple(components) != expected_names:
+        fail(f"{path}:{lineno}: components keys {tuple(components or ())!r} != "
+             f"{expected_names}")
+    for name, value in components.items():
+        if not isinstance(value, int):
+            fail(f"{path}:{lineno}: component '{name}' is not an integer")
+    return components
+
+
+def attr_check_entry(path, lineno, obj):
+    """Shared checks for total/file/proc/phase/size lines; returns
+    (ops, io_time_us)."""
+    for field in ("ops", "write_ops", "bytes", "io_time_us"):
+        if not isinstance(obj.get(field), int):
+            fail(f"{path}:{lineno}: '{field}' is not an integer")
+    if not 0 <= obj["write_ops"] <= obj["ops"]:
+        fail(f"{path}:{lineno}: write_ops {obj['write_ops']} outside "
+             f"[0, ops={obj['ops']}]")
+    if obj["bytes"] < 0:
+        fail(f"{path}:{lineno}: negative bytes")
+    components = attr_components_of(path, lineno, obj, ATTR_OP_COMPONENTS)
+    if sum(components.values()) != obj["io_time_us"]:
+        fail(f"{path}:{lineno}: components sum {sum(components.values())} != "
+             f"io_time_us {obj['io_time_us']} (conservation leak)")
+    return obj["ops"], obj["io_time_us"]
+
+
+def validate_attr(path):
+    # point -> {"total": (ops, io_time_us) | None, "hist": bool,
+    #           scope -> [(ops, io_time_us)]}
+    points = {}
+    lines = 0
+    with open_or_fail(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{path}:{lineno}: not a JSON object")
+            kind = obj.get("type")
+            point = obj.get("point")
+            if not isinstance(point, str) or not point:
+                fail(f"{path}:{lineno}: missing point label")
+            state = points.setdefault(
+                point, {"total": None, "hist": None,
+                        **{scope: [] for scope in ATTR_SCOPES}})
+            if kind == "total":
+                if state["total"] is not None:
+                    fail(f"{path}:{lineno}: second total line for point "
+                         f"'{point}'")
+                state["total"] = attr_check_entry(path, lineno, obj)
+            elif kind in ATTR_SCOPES:
+                if not isinstance(obj.get("key"), str) or not obj["key"]:
+                    fail(f"{path}:{lineno}: {kind} line without a key")
+                state[kind].append(attr_check_entry(path, lineno, obj))
+            elif kind == "disk":
+                if obj.get("kind") not in ATTR_DISK_KINDS:
+                    fail(f"{path}:{lineno}: disk kind {obj.get('kind')!r} not "
+                         f"in {ATTR_DISK_KINDS}")
+                if not isinstance(obj.get("total_us"), int):
+                    fail(f"{path}:{lineno}: disk 'total_us' is not an integer")
+                components = attr_components_of(path, lineno, obj,
+                                                ATTR_DISK_COMPONENTS)
+                if sum(components.values()) != obj["total_us"]:
+                    fail(f"{path}:{lineno}: disk components sum "
+                         f"{sum(components.values())} != total_us "
+                         f"{obj['total_us']}")
+            elif kind == "latency_hist":
+                if state["hist"] is not None:
+                    fail(f"{path}:{lineno}: second latency_hist line for "
+                         f"point '{point}'")
+                buckets = obj.get("buckets")
+                if not isinstance(buckets, dict) or not buckets:
+                    fail(f"{path}:{lineno}: latency_hist without buckets")
+                if tuple(buckets)[-1] != "le_inf":
+                    fail(f"{path}:{lineno}: latency buckets do not end at "
+                         f"le_inf")
+                for name, count in buckets.items():
+                    if not isinstance(count, int) or count < 0:
+                        fail(f"{path}:{lineno}: bucket '{name}' count is not "
+                             f"an integer >= 0")
+                if not isinstance(obj.get("ops"), int):
+                    fail(f"{path}:{lineno}: latency_hist 'ops' is not an "
+                         f"integer")
+                state["hist"] = (obj["ops"], sum(buckets.values()))
+            else:
+                fail(f"{path}:{lineno}: unknown type {kind!r}")
+            lines += 1
+    if not points:
+        fail(f"{path}: no attribution lines")
+    for point, state in points.items():
+        if state["total"] is None:
+            fail(f"{path}: point '{point}' has no total line")
+        total_ops, total_us = state["total"]
+        for scope in ATTR_SCOPES:
+            # An empty scope list is legal only for an idle point (a
+            # journal-restored point whose ledger never ran records 0 ops).
+            scope_ops = sum(ops for ops, _ in state[scope])
+            scope_us = sum(us for _, us in state[scope])
+            if scope_ops != total_ops or scope_us != total_us:
+                fail(f"{path}: point '{point}' {scope} rows sum to "
+                     f"({scope_ops} ops, {scope_us} us), total says "
+                     f"({total_ops} ops, {total_us} us)")
+        if state["hist"] is None:
+            fail(f"{path}: point '{point}' has no latency_hist line")
+        hist_ops, hist_sum = state["hist"]
+        if hist_ops != total_ops or hist_sum != total_ops:
+            fail(f"{path}: point '{point}' latency_hist counts sum to "
+                 f"{hist_sum} (header says {hist_ops}), total says "
+                 f"{total_ops} ops")
+    print(f"{path}: OK ({lines} lines, {len(points)} points, conservation "
+          f"exact per scope)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--perfetto", help="Chrome trace-event JSON file")
@@ -427,6 +572,7 @@ def main():
     parser.add_argument("--timeseries", help="counter time-series JSONL file")
     parser.add_argument("--journal", help="sweep checkpoint/resume journal file")
     parser.add_argument("--prom", help="Prometheus text exposition (/metrics scrape)")
+    parser.add_argument("--attr", help="latency attribution JSONL file")
     parser.add_argument(
         "--min-processes",
         type=int,
@@ -441,9 +587,9 @@ def main():
     )
     args = parser.parse_args()
     if not args.perfetto and not args.metrics and not args.timeseries \
-            and not args.journal and not args.prom:
+            and not args.journal and not args.prom and not args.attr:
         parser.error("nothing to validate: pass --perfetto, --metrics, "
-                     "--timeseries, --journal, and/or --prom")
+                     "--timeseries, --journal, --prom, and/or --attr")
     if args.perfetto:
         validate_perfetto(args.perfetto, args.min_processes)
     if args.metrics:
@@ -454,6 +600,8 @@ def main():
         validate_journal(args.journal)
     if args.prom:
         validate_prom(args.prom)
+    if args.attr:
+        validate_attr(args.attr)
 
 
 if __name__ == "__main__":
